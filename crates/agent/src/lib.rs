@@ -1,0 +1,40 @@
+//! The data plane: the Robust Agent and its four sub-modules (§3).
+//!
+//! One Robust Agent daemon runs in every training pod. It hosts:
+//!
+//! * the [`Monitor`](monitor::Monitor) — second-level system inspections plus
+//!   workload-metric collection and anomaly rules (§4.1),
+//! * the [`Diagnoser`](diagnoser::Diagnoser) — stop-time test suites (EUD,
+//!   NCCL intra/inter tests, the MiniGPT bit-wise alignment suite) run after
+//!   job suspension (§4.2, §4.3),
+//! * the [`OnDemandTracer`](tracer::OnDemandTracer) — stack-trace capture
+//!   feeding the Runtime Analyzer (§5),
+//! * the [`CkptManager`](ckpt_manager::CkptManager) — per-step asynchronous
+//!   checkpointing with cross-parallel-group backups (§6.3).
+//!
+//! The [`stress`] module implements the *selective stress testing* baseline
+//! that Table 6 compares the automated fault-tolerance framework against.
+
+pub mod ckpt_manager;
+pub mod diagnoser;
+pub mod monitor;
+pub mod robust_agent;
+pub mod stress;
+pub mod tracer;
+
+pub use ckpt_manager::CkptManager;
+pub use diagnoser::{DiagnoserConfig, Diagnoser, DiagnosisConclusion, DiagnosisOutcome};
+pub use monitor::{InspectionCategory, InspectionFinding, Monitor, MonitorConfig};
+pub use robust_agent::{AgentState, RobustAgent};
+pub use stress::SelectiveStressTester;
+pub use tracer::OnDemandTracer;
+
+/// Convenience prelude for downstream crates.
+pub mod prelude {
+    pub use crate::ckpt_manager::CkptManager;
+    pub use crate::diagnoser::{DiagnoserConfig, Diagnoser, DiagnosisConclusion, DiagnosisOutcome};
+    pub use crate::monitor::{InspectionCategory, InspectionFinding, Monitor, MonitorConfig};
+    pub use crate::robust_agent::{AgentState, RobustAgent};
+    pub use crate::stress::SelectiveStressTester;
+    pub use crate::tracer::OnDemandTracer;
+}

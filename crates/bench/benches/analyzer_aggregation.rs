@@ -1,0 +1,21 @@
+//! Bench: Fig. 7 stack aggregation, plus a Criterion measurement of the
+//! aggregation + over-eviction decision at a 9,600-GPU world size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn aggregation(c: &mut Criterion) {
+    println!("{}", byterobust_bench::experiments::analyzer_aggregation());
+    c.bench_function("aggregation_analysis_9600_gpus", |b| {
+        use byterobust_analyzer::RuntimeAnalyzer;
+        use byterobust_cluster::MachineId;
+        use byterobust_trainsim::{JobSpec, TrainingRuntime};
+        let mut runtime = TrainingRuntime::new(JobSpec::production_dense());
+        runtime.inject_hang(vec![MachineId(371)]);
+        let stacks = runtime.capture_stacks();
+        let analyzer = RuntimeAnalyzer::new();
+        b.iter(|| std::hint::black_box(analyzer.analyze_hang(runtime.topology(), &stacks)))
+    });
+}
+
+criterion_group!(benches, aggregation);
+criterion_main!(benches);

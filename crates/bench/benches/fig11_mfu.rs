@@ -1,0 +1,12 @@
+//! Bench: regenerate the fig11_mfu experiment from the two production-job
+//! deployment simulations (set BYTEROBUST_FULL=1 for the full three-month /
+//! one-month durations; the default shortens them ~10x).
+
+fn main() {
+    if std::env::var("BYTEROBUST_FULL").is_err() {
+        std::env::set_var("BYTEROBUST_FAST", "1");
+    }
+    let (dense, moe) = byterobust_bench::experiments::production_reports();
+    let _ = &moe;
+    println!("{}", byterobust_bench::experiments::fig11_mfu(&dense, &moe));
+}

@@ -1,0 +1,20 @@
+//! Bench: regenerate Fig. 12 (weighted-average scheduling time) and measure
+//! the cost of the warm-standby scheduling decision itself with Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn was_table(c: &mut Criterion) {
+    println!("{}", byterobust_bench::experiments::fig12_was());
+    c.bench_function("warm_standby_scheduling_decision", |b| {
+        use byterobust_recovery::{RestartCostModel, StandbyPoolConfig, WarmStandbyPool};
+        use byterobust_sim::SimTime;
+        let model = RestartCostModel::for_job(1024);
+        b.iter(|| {
+            let mut pool = WarmStandbyPool::new(StandbyPoolConfig::for_job(1024, 0.002));
+            std::hint::black_box(model.warm_standby_time(&mut pool, 3, SimTime::ZERO))
+        })
+    });
+}
+
+criterion_group!(benches, was_table);
+criterion_main!(benches);

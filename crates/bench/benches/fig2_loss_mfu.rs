@@ -1,0 +1,8 @@
+//! Bench: regenerate Fig. 2 (loss and relative MFU on a 1,000-GPU job).
+
+fn main() {
+    if std::env::var("BYTEROBUST_FULL").is_err() {
+        std::env::set_var("BYTEROBUST_FAST", "1");
+    }
+    println!("{}", byterobust_bench::experiments::fig2_loss_mfu());
+}

@@ -1,0 +1,20 @@
+//! Bench: Fig. 6 / Algorithm 1 dual-phase replay localization, plus a
+//! Criterion measurement of the localization procedure at 1,024 machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn replay(c: &mut Criterion) {
+    println!("{}", byterobust_bench::experiments::replay_localization());
+    c.bench_function("dual_phase_replay_1024_machines", |b| {
+        use byterobust_cluster::MachineId;
+        use byterobust_recovery::{DualPhaseReplay, ReplayConfig};
+        use std::collections::HashSet;
+        let machines: Vec<MachineId> = (0..1024).map(MachineId).collect();
+        let faulty: HashSet<MachineId> = [MachineId(777)].into_iter().collect();
+        let replay = DualPhaseReplay::new(ReplayConfig::new(16));
+        b.iter(|| std::hint::black_box(replay.locate_with_ground_truth(&machines, &faulty)))
+    });
+}
+
+criterion_group!(benches, replay);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Bench: regenerate Table 1 (incident distribution) and Table 2 (root causes).
+
+fn main() {
+    println!("{}", byterobust_bench::experiments::table1_incidents());
+}

@@ -1,0 +1,5 @@
+//! Bench: regenerate Table 3 (detection time with vs. without inspections).
+
+fn main() {
+    println!("{}", byterobust_bench::experiments::table3_detection());
+}

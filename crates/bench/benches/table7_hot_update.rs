@@ -1,0 +1,5 @@
+//! Bench: regenerate Table 7 (requeue vs. in-place hot-update scheduling time).
+
+fn main() {
+    println!("{}", byterobust_bench::experiments::table7_hot_update());
+}

@@ -1,0 +1,20 @@
+//! Bench: regenerate Table 8 (checkpointing efficiency) and measure the cost
+//! of one ByteRobust save decision with Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn checkpoint_table(c: &mut Criterion) {
+    println!("{}", byterobust_bench::experiments::table8_checkpoint());
+    c.bench_function("byterobust_save_outcome_70b", |b| {
+        use byterobust_checkpoint::{CheckpointApproach, CheckpointEngine};
+        use byterobust_sim::SimDuration;
+        use byterobust_trainsim::{CodeVersion, JobSpec, StepModel};
+        let job = JobSpec::table5_70b_small();
+        let step = StepModel::new(job.clone()).step(&CodeVersion::initial(), 1.0, SimDuration::ZERO);
+        let engine = CheckpointEngine::new(CheckpointApproach::ByteRobustSave, &job);
+        b.iter(|| std::hint::black_box(engine.save(&step)))
+    });
+}
+
+criterion_group!(benches, checkpoint_table);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates every table and figure of the paper's evaluation in one pass.
+//!
+//! ```text
+//! cargo run --release -p byterobust-bench --bin reproduce
+//! BYTEROBUST_FAST=1 cargo run --release -p byterobust-bench --bin reproduce   # shorter simulated durations
+//! ```
+
+use byterobust_bench::experiments;
+
+fn main() {
+    println!("ByteRobust reproduction — regenerating all tables and figures");
+    println!("(seed = {}, fast mode = {})\n", experiments::SEED, byterobust_bench::fast_mode());
+
+    // Cheap, closed-form experiments first.
+    println!("{}", experiments::table1_incidents());
+    println!("{}", experiments::table3_detection());
+    println!("{}", experiments::table7_hot_update());
+    println!("{}", experiments::fig12_was());
+    println!("{}", experiments::table8_checkpoint());
+    println!("{}", experiments::replay_localization());
+    println!("{}", experiments::analyzer_aggregation());
+
+    // The 1,000-GPU 10-day job of Fig. 2.
+    println!("{}", experiments::fig2_loss_mfu());
+
+    // The two production deployment jobs of §8.1 drive the remaining tables.
+    eprintln!("running production deployment simulations (dense 3-month + MoE 1-month)...");
+    let (dense, moe) = experiments::production_reports();
+    println!("{}", experiments::fig3_unproductive(&dense));
+    println!("{}", experiments::table4_resolution(&dense, &moe));
+    println!("{}", experiments::table6_resolution_cost(&dense, &moe));
+    println!("{}", experiments::fig10_ettr(&dense, &moe));
+    println!("{}", experiments::fig11_mfu(&dense, &moe));
+}

@@ -1,0 +1,542 @@
+//! One function per paper table / figure.
+//!
+//! Each function runs the relevant workload on the simulator and renders the
+//! same rows or series the paper reports. See `DESIGN.md` §4 for the
+//! experiment index and `EXPERIMENTS.md` for paper-vs-measured numbers.
+
+use std::collections::BTreeMap;
+
+use byterobust_agent::{Monitor, SelectiveStressTester};
+use byterobust_analyzer::{AggregationResult, EvictionDecision};
+use byterobust_checkpoint::{CheckpointApproach, CheckpointEngine};
+use byterobust_cluster::{
+    FaultCategory, FaultInjector, FaultInjectorConfig, FaultKind, MachineId, RootCause,
+};
+use byterobust_core::{JobConfig, JobLifecycle, JobReport};
+use byterobust_parallelism::ParallelismConfig;
+use byterobust_recovery::{
+    binomial_quantile, DualPhaseReplay, ReplayConfig, RestartCostModel, RestartStrategy,
+    StandbyPoolConfig, WarmStandbyPool,
+};
+use byterobust_sim::{SimDuration, SimRng, SimTime};
+use byterobust_trainsim::{CodeVersion, JobSpec, StepModel, TrainingRuntime};
+
+use crate::table::{fmt_pct, fmt_secs, Table};
+use crate::fast_mode;
+
+/// Deterministic seed shared by all experiments.
+pub const SEED: u64 = 20250916;
+
+/// Runs the two production deployment jobs of §8.1 (dense three-month job and
+/// MoE one-month job on 9,600 GPUs) and returns their reports. In fast mode
+/// the simulated durations are shortened ~10×, which preserves the shape of
+/// every derived table.
+pub fn production_reports() -> (JobReport, JobReport) {
+    let mut dense_cfg = JobConfig::production_dense_three_months();
+    let mut moe_cfg = JobConfig::production_moe_one_month();
+    if fast_mode() {
+        dense_cfg.duration = SimDuration::from_days(9);
+        moe_cfg.duration = SimDuration::from_days(3);
+    }
+    let dense = JobLifecycle::new(dense_cfg, SEED).run();
+    let moe = JobLifecycle::new(moe_cfg, SEED + 1).run();
+    (dense, moe)
+}
+
+/// Table 1: distribution of training incidents over a large sample of the
+/// production incident mix, plus Table 2's root-cause split for the three
+/// symptoms it examines.
+pub fn table1_incidents() -> String {
+    let config = FaultInjectorConfig::default();
+    let mut injector = FaultInjector::new(config, SimRng::new(SEED));
+    let samples = if fast_mode() { 10_000 } else { 40_000 };
+    let mut now = SimTime::ZERO;
+    let mut counts: BTreeMap<FaultKind, usize> = BTreeMap::new();
+    let mut root_causes: BTreeMap<FaultKind, (usize, usize)> = BTreeMap::new();
+    for _ in 0..samples {
+        let event = injector.next_event(now);
+        now = event.at;
+        *counts.entry(event.kind).or_insert(0) += 1;
+        let entry = root_causes.entry(event.kind).or_insert((0, 0));
+        match event.root_cause {
+            RootCause::Infrastructure | RootCause::Transient => entry.0 += 1,
+            RootCause::UserCode => entry.1 += 1,
+            RootCause::Human => {}
+        }
+    }
+
+    let mut table = Table::new(
+        "Table 1: distribution of training incidents (simulated production mix)",
+        &["Category", "Incident Symptom", "Count", "Percentage", "Paper %"],
+    );
+    for kind in FaultKind::ALL {
+        let count = counts.get(&kind).copied().unwrap_or(0);
+        let category = match kind.category() {
+            FaultCategory::Explicit => "Explicit",
+            FaultCategory::Implicit => "Implicit",
+            FaultCategory::ManualRestart => "Manual Restart",
+        };
+        table.row(&[
+            category.to_string(),
+            kind.symptom_name().to_string(),
+            count.to_string(),
+            fmt_pct(count as f64 / samples as f64),
+            format!("{:.1}%", kind.table1_weight()),
+        ]);
+    }
+
+    let mut table2 = Table::new(
+        "Table 2: root cause of incidents (symptoms with tangled causes)",
+        &["Symptom", "#Infrastructure", "#User Code", "#Total"],
+    );
+    for kind in [FaultKind::JobHang, FaultKind::GpuMemoryError, FaultKind::NanValue] {
+        let (infra, user) = root_causes.get(&kind).copied().unwrap_or((0, 0));
+        table2.row(&[
+            kind.symptom_name().to_string(),
+            infra.to_string(),
+            user.to_string(),
+            (infra + user).to_string(),
+        ]);
+    }
+    format!("{}\n{}", table.render(), table2.render())
+}
+
+/// Fig. 2: normalized loss and relative MFU of a 1,000-GPU job over a 10-day
+/// span with frequent restarts.
+pub fn fig2_loss_mfu() -> String {
+    let job = JobSpec {
+        model: byterobust_trainsim::ModelSpec::dense_70b(),
+        parallelism: ParallelismConfig::new_3d(8, 5, 25, 8),
+        global_batch: 500,
+        micro_batch: 1,
+        hardware: byterobust_trainsim::HardwareSpec::hopper(),
+        target_steps: 100_000,
+    };
+    let days = if fast_mode() { 3 } else { 10 };
+    let mut config = JobConfig::for_job(job, SimDuration::from_days(days));
+    // Frequent manual adjustments, as in the paper's 28-run example.
+    config.fault.manual_restart_interval = SimDuration::from_hours(9);
+    let report = JobLifecycle::new(config, SEED + 2).run();
+
+    let mut table = Table::new(
+        "Fig. 2: normalized loss and relative MFU on a 1000-GPU job",
+        &["Normalized Step", "Normalized Loss", "Relative MFU"],
+    );
+    let rel_mfu = report.relative_mfu_series();
+    let max_step = report.final_step.max(1) as f64;
+    let max_loss =
+        report.loss_series.iter().map(|p| p.value).fold(f64::NEG_INFINITY, f64::max);
+    for (loss, mfu) in report.loss_series.iter().zip(rel_mfu.iter()).step_by(4) {
+        table.row(&[
+            format!("{:.3}", loss.step as f64 / max_step),
+            format!("{:.3}", loss.value / max_loss),
+            format!("{:.3}", mfu.value),
+        ]);
+    }
+    let runs = report.incidents.len() + 1;
+    format!("{}\nTotal runs (restarts + 1): {}\n", table.render(), runs)
+}
+
+/// Fig. 3: unproductive-time breakdown per incident category.
+pub fn fig3_unproductive(dense: &JobReport) -> String {
+    let mut table = Table::new(
+        "Fig. 3: unproductive time breakdown (mean seconds per incident)",
+        &["Category", "Detection", "Localization", "Failover", "Total"],
+    );
+    for (category, (d, l, f)) in dense.unproductive_breakdown() {
+        table.row(&[
+            category.to_string(),
+            fmt_secs(d),
+            fmt_secs(l),
+            fmt_secs(f),
+            fmt_secs(d + l + f),
+        ]);
+    }
+    table.render()
+}
+
+/// Table 3: detection time with vs. without inspections for representative
+/// infrastructure root causes.
+pub fn table3_detection() -> String {
+    let monitor = Monitor::new();
+    let mut table = Table::new(
+        "Table 3: time to detect infrastructure failures (seconds)",
+        &["Category", "Root Cause", "w/ Inspection (s)", "w/o Inspection"],
+    );
+    let rows: Vec<(&str, &str, f64, String)> = vec![
+        (
+            "Network",
+            "NIC crash",
+            monitor.detection_time_with_inspection(FaultKind::InfinibandError).as_secs_f64(),
+            "T_timeout".to_string(),
+        ),
+        (
+            "Network",
+            "Port Flapping",
+            monitor.detection_time_with_inspection(FaultKind::InfinibandError).as_secs_f64(),
+            "T_timeout".to_string(),
+        ),
+        ("Network", "Switch Down", monitor.switch_down_detection_time().as_secs_f64(), "2*T_timeout".to_string()),
+        (
+            "GPU",
+            "Driver Hang",
+            monitor.detection_time_with_inspection(FaultKind::GpuUnavailable).as_secs_f64(),
+            "T_timeout".to_string(),
+        ),
+        (
+            "GPU",
+            "High Temperature",
+            monitor.detection_time_with_inspection(FaultKind::GpuUnavailable).as_secs_f64(),
+            "T_monitor".to_string(),
+        ),
+        (
+            "GPU",
+            "GPU Lost",
+            monitor.detection_time_with_inspection(FaultKind::GpuUnavailable).as_secs_f64(),
+            "T_timeout".to_string(),
+        ),
+        (
+            "Host",
+            "OS Kernel Fault",
+            monitor.detection_time_with_inspection(FaultKind::OsKernelPanic).as_secs_f64(),
+            "T_timeout".to_string(),
+        ),
+    ];
+    for (category, cause, with, without) in rows {
+        table.row(&[category.to_string(), cause.to_string(), fmt_secs(with), without]);
+    }
+    let timeout = monitor.detection_time_without_inspection(FaultKind::GpuUnavailable);
+    format!(
+        "{}\nT_timeout = {} (PyTorch-Distributed collective timeout), T_monitor = {}\n",
+        table.render(),
+        timeout,
+        SimDuration::from_mins(15)
+    )
+}
+
+/// Table 4: distribution of resolved incidents across mechanisms for the two
+/// production jobs, plus the §4.2 "lesson" mechanism shares.
+pub fn table4_resolution(dense: &JobReport, moe: &JobReport) -> String {
+    let mut table = Table::new(
+        "Table 4: incidents resolved per mechanism (count, share of job's incidents)",
+        &["Job", "Mechanism", "Explicit", "Implicit", "Manual Restart"],
+    );
+    for (name, report) in [("Dense", dense), ("MoE", moe)] {
+        let counts = report.resolution_counts();
+        let total = report.incidents.len().max(1);
+        for mechanism in ["AutoFT-ER", "AutoFT-HU", "Analyzer-ER", "Rollback"] {
+            let cell = |category: &str| -> String {
+                match counts.get(&(mechanism, category)) {
+                    Some(&count) => {
+                        format!("{} ({})", count, fmt_pct(count as f64 / total as f64))
+                    }
+                    None => "-".to_string(),
+                }
+            };
+            table.row(&[
+                name.to_string(),
+                mechanism.to_string(),
+                cell("Explicit"),
+                cell("Implicit"),
+                cell("Manual Restart"),
+            ]);
+        }
+    }
+
+    let mut lesson = Table::new(
+        "Lesson (Sec. 4.2): share of incidents resolved by each mechanism (dense job)",
+        &["Mechanism", "Share"],
+    );
+    for (name, share) in dense.mechanism_shares() {
+        lesson.row(&[name.to_string(), fmt_pct(share)]);
+    }
+    format!("{}\n{}", table.render(), lesson.render())
+}
+
+/// Table 6: incident resolution cost — ByteRobust vs. selective stress
+/// testing.
+pub fn table6_resolution_cost(dense: &JobReport, moe: &JobReport) -> String {
+    let mut by_symptom: BTreeMap<FaultKind, Vec<f64>> = BTreeMap::new();
+    for report in [dense, moe] {
+        for incident in &report.incidents {
+            by_symptom
+                .entry(incident.kind)
+                .or_default()
+                .push(incident.resolution_time().as_secs_f64());
+        }
+    }
+    let baseline = SelectiveStressTester::new();
+    let mut table = Table::new(
+        "Table 6: incident resolution cost comparison (seconds)",
+        &["Incident Symptom", "Ours Mean (s)", "Ours Max (s)", "Selective (s)"],
+    );
+    let symptoms = [
+        FaultKind::CudaError,
+        FaultKind::InfinibandError,
+        FaultKind::HdfsError,
+        FaultKind::OsKernelPanic,
+        FaultKind::GpuMemoryError,
+        FaultKind::NanValue,
+        FaultKind::GpuUnavailable,
+        FaultKind::CodeDataAdjustment,
+    ];
+    for kind in symptoms {
+        let (mean, max) = match by_symptom.get(&kind) {
+            Some(values) if !values.is_empty() => {
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                let max = values.iter().copied().fold(0.0, f64::max);
+                (mean, max)
+            }
+            _ => (f64::NAN, f64::NAN),
+        };
+        let selective = match baseline.resolution_time(kind, RootCause::Infrastructure) {
+            Some(d) => fmt_secs(d.as_secs_f64()),
+            None => "INF".to_string(),
+        };
+        let fmt_or_dash = |v: f64| if v.is_nan() { "-".to_string() } else { fmt_secs(v) };
+        table.row(&[
+            kind.symptom_name().to_string(),
+            fmt_or_dash(mean),
+            fmt_or_dash(max),
+            selective,
+        ]);
+    }
+    table.render()
+}
+
+/// Table 7: scheduling time of requeue vs. in-place hot update across scales.
+pub fn table7_hot_update() -> String {
+    let mut table = Table::new(
+        "Table 7: scheduling time upon code-update events (seconds)",
+        &["Scale (# GPUs)", "Requeue (s)", "Hot update (s)", "Speedup"],
+    );
+    for machines in [128usize, 256, 512, 1024] {
+        let model = RestartCostModel::for_job(machines);
+        let requeue = model.requeue_time().as_secs_f64();
+        let hot = model.hot_update_time().as_secs_f64();
+        table.row(&[
+            format!("{}x16", machines),
+            fmt_secs(requeue),
+            fmt_secs(hot),
+            format!("{:.2}x", requeue / hot),
+        ]);
+    }
+    table.render()
+}
+
+/// Fig. 12: weighted-average scheduling (WAS) time upon machine-eviction
+/// events for the four restart strategies, across scales.
+pub fn fig12_was() -> String {
+    let per_machine_failure_prob = 0.002;
+    let catastrophic_machines = 32usize;
+    let catastrophic_weight = 0.01;
+
+    let mut table = Table::new(
+        "Fig. 12: weighted average scheduling (WAS) time upon machine eviction (seconds)",
+        &["Scale", "Requeue", "Reschedule", "Oracle", "ByteRobust", "P99 standbys"],
+    );
+    for machines in [128usize, 256, 512, 1024] {
+        let model = RestartCostModel::for_job(machines);
+        let p99 = binomial_quantile(machines as u64, per_machine_failure_prob, 0.99).max(1) as usize;
+
+        // Scenario weights: evictions 1..=P99 weighted by the binomial pmf
+        // (renormalized to 99%), catastrophic switch failure at 1%.
+        let mut scenarios: Vec<(usize, f64)> = Vec::new();
+        let pmf_sum: f64 = (1..=p99)
+            .map(|k| byterobust_recovery::binomial::binomial_pmf(machines as u64, per_machine_failure_prob, k as u64))
+            .sum();
+        for k in 1..=p99 {
+            let w = byterobust_recovery::binomial::binomial_pmf(
+                machines as u64,
+                per_machine_failure_prob,
+                k as u64,
+            ) / pmf_sum
+                * (1.0 - catastrophic_weight);
+            scenarios.push((k, w));
+        }
+        scenarios.push((catastrophic_machines, catastrophic_weight));
+
+        let was = |strategy: RestartStrategy| -> f64 {
+            scenarios
+                .iter()
+                .map(|&(evicted, weight)| {
+                    let time = match strategy {
+                        RestartStrategy::WarmStandby => {
+                            let mut pool = WarmStandbyPool::new(StandbyPoolConfig::for_job(
+                                machines,
+                                per_machine_failure_prob,
+                            ));
+                            model.warm_standby_time(&mut pool, evicted, SimTime::ZERO)
+                        }
+                        other => model.time_for(other, evicted),
+                    };
+                    time.as_secs_f64() * weight
+                })
+                .sum()
+        };
+
+        table.row(&[
+            format!("{}x16", machines),
+            fmt_secs(was(RestartStrategy::Requeue)),
+            fmt_secs(was(RestartStrategy::Reschedule)),
+            fmt_secs(was(RestartStrategy::Oracle)),
+            fmt_secs(was(RestartStrategy::WarmStandby)),
+            p99.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Table 8: checkpointing efficiency comparison over the Table 5 setups.
+pub fn table8_checkpoint() -> String {
+    let mut table = Table::new(
+        "Table 8: checkpointing efficiency (every-step checkpointing)",
+        &["Model", "Scale", "Approach", "Blocking Time (s)", "MFU (% of no-ckpt)"],
+    );
+    let setups: [(&str, &str, JobSpec); 4] = [
+        ("70B", "128x16", JobSpec::table5_70b_small()),
+        ("70B", "256x16", JobSpec::table5_70b_large()),
+        ("256B", "512x16", JobSpec::table5_256b_small()),
+        ("256B", "1024x16", JobSpec::table5_256b_large()),
+    ];
+    for (model, scale, job) in setups {
+        let step = StepModel::new(job.clone()).step(&CodeVersion::initial(), 1.0, SimDuration::ZERO);
+        for approach in CheckpointApproach::ALL {
+            let engine = CheckpointEngine::new(approach, &job);
+            let outcome = engine.save(&step);
+            let mfu = engine.relative_mfu(&step, 1);
+            table.row(&[
+                model.to_string(),
+                scale.to_string(),
+                approach.name().to_string(),
+                format!("{:.2}", outcome.blocking.as_secs_f64()),
+                format!("{:.2}", mfu * 100.0),
+            ]);
+        }
+    }
+    table.render()
+}
+
+/// Fig. 10: cumulative and sliding-window ETTR for the two production jobs.
+pub fn fig10_ettr(dense: &JobReport, moe: &JobReport) -> String {
+    let mut out = String::new();
+    let window = SimDuration::from_hours(1);
+    for (name, report) in [("Dense", dense), ("MoE", moe)] {
+        let mut table = Table::new(
+            &format!("Fig. 10: ETTR over normalized time ({name} job)"),
+            &["Normalized Time", "Cumulative ETTR", "Sliding-window ETTR (1h)"],
+        );
+        let cumulative = report.ettr.cumulative_series(20);
+        let sliding = report.ettr.sliding_series(20, window);
+        for (i, (c, s)) in cumulative.iter().zip(sliding.iter()).enumerate() {
+            table.row(&[
+                format!("{:.2}", (i + 1) as f64 / 20.0),
+                format!("{:.4}", c.1),
+                format!("{:.4}", s.1),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push_str(&format!(
+            "{name}: final cumulative ETTR = {:.3}, incidents = {}, longest unproductive stretch = {}\n\n",
+            report.ettr.cumulative_ettr(),
+            report.incidents.len(),
+            report.ettr.longest_unproductive(),
+        ));
+    }
+    out
+}
+
+/// Fig. 11: relative MFU over the two production jobs (hot-update leaps).
+pub fn fig11_mfu(dense: &JobReport, moe: &JobReport) -> String {
+    let mut out = String::new();
+    for (name, report) in [("Dense", dense), ("MoE", moe)] {
+        let rel = report.relative_mfu_series();
+        let mut table = Table::new(
+            &format!("Fig. 11: relative MFU over normalized steps ({name} job)"),
+            &["Normalized Step", "Relative MFU"],
+        );
+        let max_step = report.final_step.max(1) as f64;
+        let stride = (rel.len() / 20).max(1);
+        for point in rel.iter().step_by(stride) {
+            table.row(&[format!("{:.2}", point.step as f64 / max_step), format!("{:.3}", point.value)]);
+        }
+        let final_improvement = rel.last().map(|p| p.value).unwrap_or(1.0);
+        out.push_str(&table.render());
+        out.push_str(&format!(
+            "{name}: final relative MFU = {:.2}x over the initial run, code versions deployed = {}\n\n",
+            final_improvement, report.code_versions_deployed
+        ));
+    }
+    out
+}
+
+/// Fig. 6 / Algorithm 1: dual-phase replay localization sweep.
+pub fn replay_localization() -> String {
+    let replay = DualPhaseReplay::new(ReplayConfig::fig6_example());
+    let machines: Vec<MachineId> = (0..24).map(MachineId).collect();
+    let faulty: std::collections::HashSet<MachineId> = [MachineId(13)].into_iter().collect();
+    let outcome = replay.locate_with_ground_truth(&machines, &faulty);
+
+    let mut table = Table::new(
+        "Fig. 6 / Alg. 1: dual-phase replay localization (z=24, m=4, n=6)",
+        &["Quantity", "Value"],
+    );
+    table.row(&["Injected SDC machine".to_string(), "machine-13".to_string()]);
+    table.row(&["Failing horizontal group".to_string(), format!("H{}", outcome.horizontal_group.unwrap())]);
+    table.row(&["Failing vertical group".to_string(), format!("V{}", outcome.vertical_group.unwrap())]);
+    table.row(&[
+        "Suspect set".to_string(),
+        outcome.suspects.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(", "),
+    ]);
+    table.row(&["Diagnosis time".to_string(), outcome.duration.to_string()]);
+
+    // Sweep every culprit position to measure exactness.
+    let mut exact = 0;
+    for culprit in 0..24u32 {
+        let faulty: std::collections::HashSet<MachineId> = [MachineId(culprit)].into_iter().collect();
+        let o = replay.locate_with_ground_truth(&machines, &faulty);
+        if o.suspects == vec![MachineId(culprit)] {
+            exact += 1;
+        }
+    }
+    table.row(&["Exact isolations over 24 culprit positions".to_string(), format!("{exact}/24")]);
+    table.render()
+}
+
+/// Fig. 7: stack aggregation for a backward-communication hang.
+pub fn analyzer_aggregation() -> String {
+    let job = JobSpec {
+        parallelism: ParallelismConfig::fig7_example(),
+        ..JobSpec::small_test()
+    };
+    let mut runtime = TrainingRuntime::new(job);
+    runtime.inject_hang(vec![MachineId(15)]);
+    let stacks = runtime.capture_stacks();
+    let aggregation = AggregationResult::aggregate(&stacks);
+    let decision =
+        EvictionDecision::from_outliers(runtime.topology(), &aggregation.outlier_ranks());
+
+    let mut table = Table::new(
+        "Fig. 7: stack aggregation for a backward-communication hang (TP=2, PP=4, DP=4)",
+        &["Cluster", "Process", "Size (ranks)", "Innermost frame"],
+    );
+    for (i, cluster) in aggregation.clusters.iter().enumerate() {
+        if cluster.process != byterobust_trainsim::ProcessKind::Trainer {
+            continue;
+        }
+        let label = if aggregation.is_dominant(cluster) {
+            format!("Inlier #{i}")
+        } else {
+            format!("Outlier #{i}")
+        };
+        let leaf = cluster.fingerprint.lines().last().unwrap_or("").to_string();
+        table.row(&[label, "Trainer".to_string(), cluster.size().to_string(), leaf]);
+    }
+    let machines: Vec<String> = decision.machines.iter().map(|m| m.to_string()).collect();
+    format!(
+        "{}\nIsolated suspected machines ({:?} group over-eviction): {}\n",
+        table.render(),
+        decision.shared_group,
+        machines.join(", ")
+    )
+}

@@ -1,0 +1,21 @@
+//! Benchmark harness shared library.
+//!
+//! Every table and figure of the paper's evaluation (§2 and §8) has a
+//! corresponding function in [`experiments`] that runs the relevant workload
+//! on the simulator and renders the same rows/series the paper reports. The
+//! Criterion benches under `benches/` and the `reproduce` binary are thin
+//! wrappers over these functions, so `cargo bench` and
+//! `cargo run -p byterobust-bench --bin reproduce` produce identical content.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Whether the harness should run scaled-down experiments (set the
+/// `BYTEROBUST_FAST=1` environment variable). Full-scale runs simulate the
+/// paper's three-month 9,600-GPU deployments; fast mode shortens the
+/// simulated duration (not the cluster size) so CI finishes quickly.
+pub fn fast_mode() -> bool {
+    std::env::var("BYTEROBUST_FAST").map(|v| v == "1").unwrap_or(false)
+}

@@ -1,0 +1,36 @@
+//! Checkpointing engines and over-eviction-aware backup (§6.3, §7, Table 8).
+//!
+//! Three checkpointing approaches are modelled, matching the paper's Table 8
+//! comparison:
+//!
+//! * **Megatron save** — synchronous, blocking writes to remote storage,
+//! * **Memory save** — Gemini-style in-memory checkpointing with a blocking
+//!   device-to-host copy followed by asynchronous backup,
+//! * **ByteRobust save** — dual-buffered asynchronous D2H on a dedicated
+//!   stream, with serialization and cross-parallel-group P2P backup
+//!   interleaved into the idle communication windows of each training step,
+//!   leaving only a tiny synchronization before the optimizer step exposed.
+//!
+//! The [`CheckpointStore`] tracks which steps are recoverable from which
+//! storage tier and — together with the cross-parallel-group
+//! [`BackupAssignment`](byterobust_parallelism::BackupAssignment) — answers
+//! the question the controller cares about after an (over-)eviction: *what is
+//! the latest step we can restart from, and how long will loading it take?*
+
+pub mod engine;
+pub mod plan;
+pub mod state;
+pub mod store;
+
+pub use engine::{CheckpointApproach, CheckpointEngine, SaveOutcome};
+pub use plan::CheckpointPlan;
+pub use state::CheckpointState;
+pub use store::{CheckpointStore, RecoveryPoint, StorageTier};
+
+/// Convenience prelude for downstream crates.
+pub mod prelude {
+    pub use crate::engine::{CheckpointApproach, CheckpointEngine, SaveOutcome};
+    pub use crate::plan::CheckpointPlan;
+    pub use crate::state::CheckpointState;
+    pub use crate::store::{CheckpointStore, RecoveryPoint, StorageTier};
+}

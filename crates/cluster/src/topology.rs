@@ -1,0 +1,287 @@
+//! Cluster topology: the fleet of machines assigned to a training job plus
+//! the warm-standby pool, grouped under leaf switches.
+
+use serde::{Deserialize, Serialize};
+
+use byterobust_sim::SimTime;
+
+use crate::blacklist::Blacklist;
+use crate::fault::FaultKind;
+use crate::ids::{MachineId, SwitchId};
+use crate::machine::{Machine, MachineState};
+
+/// Static description of a cluster to construct.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Machines actively assigned to the training job.
+    pub active_machines: usize,
+    /// Pre-provisioned warm-standby machines (§6.2).
+    pub standby_machines: usize,
+    /// GPUs per machine (8 for the Hopper fleet, 16 for the L20 fleet in §8).
+    pub gpus_per_machine: u8,
+    /// Machines attached to each leaf switch.
+    pub machines_per_switch: usize,
+}
+
+impl ClusterSpec {
+    /// The production deployment scale from §8.1: 1,200 machines × 8 Hopper
+    /// GPUs (9,600 GPUs) with a small standby pool.
+    pub fn production_dense() -> Self {
+        ClusterSpec {
+            active_machines: 1_200,
+            standby_machines: 8,
+            gpus_per_machine: 8,
+            machines_per_switch: 32,
+        }
+    }
+
+    /// The evaluation testbed from §8.2: 1,024 machines × 16 L20 GPUs
+    /// (16,384 GPUs).
+    pub fn eval_l20(active_machines: usize) -> Self {
+        ClusterSpec {
+            active_machines,
+            standby_machines: 4,
+            gpus_per_machine: 16,
+            machines_per_switch: 32,
+        }
+    }
+
+    /// A small scale suitable for unit tests and the quickstart example.
+    pub fn small_test() -> Self {
+        ClusterSpec {
+            active_machines: 16,
+            standby_machines: 2,
+            gpus_per_machine: 8,
+            machines_per_switch: 8,
+        }
+    }
+
+    /// Total machines (active + standby).
+    pub fn total_machines(&self) -> usize {
+        self.active_machines + self.standby_machines
+    }
+
+    /// Total GPUs across active machines.
+    pub fn active_gpus(&self) -> usize {
+        self.active_machines * self.gpus_per_machine as usize
+    }
+}
+
+/// The live cluster: machine objects, switch attachment, and the blacklist.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    machines: Vec<Machine>,
+    /// Machines blocked from scheduling.
+    pub blacklist: Blacklist,
+}
+
+impl Cluster {
+    /// Builds a cluster from a spec. The first `active_machines` ids are
+    /// active; the rest start as warm standbys.
+    pub fn build(spec: ClusterSpec) -> Self {
+        assert!(spec.active_machines > 0, "cluster must have at least one active machine");
+        assert!(spec.gpus_per_machine > 0, "machines must have at least one GPU");
+        assert!(spec.machines_per_switch > 0, "machines_per_switch must be > 0");
+        let total = spec.total_machines();
+        let mut machines = Vec::with_capacity(total);
+        for i in 0..total {
+            let switch = SwitchId((i / spec.machines_per_switch) as u32);
+            let mut m = Machine::healthy(MachineId(i as u32), switch, spec.gpus_per_machine);
+            m.state = if i < spec.active_machines {
+                MachineState::Active
+            } else {
+                MachineState::WarmStandby
+            };
+            machines.push(m);
+        }
+        Cluster { spec, machines, blacklist: Blacklist::new() }
+    }
+
+    /// The spec this cluster was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Total machines (active + standby + evicted).
+    pub fn total_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Immutable access to a machine.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn machine(&self, id: MachineId) -> &Machine {
+        &self.machines[id.index()]
+    }
+
+    /// Mutable access to a machine.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn machine_mut(&mut self, id: MachineId) -> &mut Machine {
+        &mut self.machines[id.index()]
+    }
+
+    /// All machines.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Ids of machines currently in the given state.
+    pub fn machines_in_state(&self, state: MachineState) -> Vec<MachineId> {
+        self.machines.iter().filter(|m| m.state == state).map(|m| m.id).collect()
+    }
+
+    /// Ids of machines actively participating in training.
+    pub fn active_machines(&self) -> Vec<MachineId> {
+        self.machines_in_state(MachineState::Active)
+    }
+
+    /// Ids of ready warm-standby machines.
+    pub fn standby_machines(&self) -> Vec<MachineId> {
+        self.machines_in_state(MachineState::WarmStandby)
+    }
+
+    /// Machines attached to the given leaf switch.
+    pub fn machines_under_switch(&self, switch: SwitchId) -> Vec<MachineId> {
+        self.machines.iter().filter(|m| m.switch == switch).map(|m| m.id).collect()
+    }
+
+    /// Number of leaf switches in the topology.
+    pub fn switch_count(&self) -> usize {
+        self.spec.total_machines().div_ceil(self.spec.machines_per_switch)
+    }
+
+    /// Evicts a machine: marks it evicted and blacklists it.
+    pub fn evict_machine(
+        &mut self,
+        id: MachineId,
+        at: SimTime,
+        reason: FaultKind,
+        over_evicted: bool,
+    ) {
+        self.machine_mut(id).evict();
+        self.blacklist.block(id, at, reason, over_evicted);
+    }
+
+    /// Promotes a warm-standby machine into the active set. Returns `false`
+    /// if the machine is not a ready standby or fails its self-check.
+    pub fn activate_standby(&mut self, id: MachineId) -> bool {
+        let machine = self.machine_mut(id);
+        if machine.state != MachineState::WarmStandby || !machine.passes_self_check() {
+            return false;
+        }
+        machine.state = MachineState::Active;
+        true
+    }
+
+    /// Adds a freshly provisioned machine to the standby pool (replenishment,
+    /// §6.2). The new machine gets the next free id.
+    pub fn add_standby_machine(&mut self) -> MachineId {
+        let id = MachineId(self.machines.len() as u32);
+        let switch = SwitchId((id.index() / self.spec.machines_per_switch) as u32);
+        let mut m = Machine::healthy(id, switch, self.spec.gpus_per_machine);
+        m.state = MachineState::WarmStandby;
+        self.machines.push(m);
+        id
+    }
+
+    /// Aggregate relative throughput of the active fleet (mean of per-machine
+    /// relative throughput); 1.0 means every active machine at full speed.
+    pub fn active_relative_throughput(&self) -> f64 {
+        let active: Vec<&Machine> =
+            self.machines.iter().filter(|m| m.state == MachineState::Active).collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        active.iter().map(|m| m.relative_throughput()).sum::<f64>() / active.len() as f64
+    }
+
+    /// Whether every active machine is operational (training can progress).
+    pub fn all_active_operational(&self) -> bool {
+        self.machines
+            .iter()
+            .filter(|m| m.state == MachineState::Active)
+            .all(|m| m.is_operational())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_assigns_states_and_switches() {
+        let cluster = Cluster::build(ClusterSpec::small_test());
+        assert_eq!(cluster.total_machines(), 18);
+        assert_eq!(cluster.active_machines().len(), 16);
+        assert_eq!(cluster.standby_machines().len(), 2);
+        // 18 machines / 8 per switch => 3 switches.
+        assert_eq!(cluster.switch_count(), 3);
+        assert_eq!(cluster.machines_under_switch(SwitchId(0)).len(), 8);
+    }
+
+    #[test]
+    fn production_spec_scale() {
+        let spec = ClusterSpec::production_dense();
+        assert_eq!(spec.active_gpus(), 9_600);
+        let spec = ClusterSpec::eval_l20(1024);
+        assert_eq!(spec.active_gpus(), 16_384);
+    }
+
+    #[test]
+    fn evict_blacklists_and_marks_machine() {
+        let mut cluster = Cluster::build(ClusterSpec::small_test());
+        let victim = MachineId(3);
+        cluster.evict_machine(victim, SimTime::from_secs(60), FaultKind::CudaError, false);
+        assert_eq!(cluster.machine(victim).state, MachineState::Evicted);
+        assert!(cluster.blacklist.contains(victim));
+        assert_eq!(cluster.active_machines().len(), 15);
+    }
+
+    #[test]
+    fn activate_standby_requires_ready_standby() {
+        let mut cluster = Cluster::build(ClusterSpec::small_test());
+        let standby = cluster.standby_machines()[0];
+        assert!(cluster.activate_standby(standby));
+        assert_eq!(cluster.machine(standby).state, MachineState::Active);
+        // Activating an already-active machine fails.
+        assert!(!cluster.activate_standby(standby));
+        // A broken standby fails its self-check and is not delivered.
+        let other = cluster.standby_machines()[0];
+        cluster.machine_mut(other).gpu_mut(0).mark_lost();
+        assert!(!cluster.activate_standby(other));
+    }
+
+    #[test]
+    fn add_standby_machine_grows_pool() {
+        let mut cluster = Cluster::build(ClusterSpec::small_test());
+        let before = cluster.standby_machines().len();
+        let id = cluster.add_standby_machine();
+        assert_eq!(cluster.standby_machines().len(), before + 1);
+        assert_eq!(cluster.machine(id).state, MachineState::WarmStandby);
+    }
+
+    #[test]
+    fn throughput_reflects_degradation() {
+        let mut cluster = Cluster::build(ClusterSpec::small_test());
+        assert!((cluster.active_relative_throughput() - 1.0).abs() < 1e-9);
+        assert!(cluster.all_active_operational());
+        cluster.machine_mut(MachineId(0)).gpu_mut(0).mark_lost();
+        assert!(!cluster.all_active_operational());
+        assert!(cluster.active_relative_throughput() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one active machine")]
+    fn empty_cluster_panics() {
+        let _ = Cluster::build(ClusterSpec {
+            active_machines: 0,
+            standby_machines: 0,
+            gpus_per_machine: 8,
+            machines_per_switch: 8,
+        });
+    }
+}

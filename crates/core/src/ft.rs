@@ -1,0 +1,666 @@
+//! The automated fault-tolerance framework (Fig. 5) and the Robust Controller.
+//!
+//! [`RobustController::handle_incident`] walks one incident through the
+//! framework: real-time checks route high-confidence machine faults straight
+//! to eviction; user-space errors route to code rollback; implicit failures
+//! route to the Runtime Analyzer's aggregation analysis; everything else goes
+//! through hierarchical stop-time checks, then reattempt, rollback, and
+//! finally dual-phase replay. Each stage's duration is charged to the
+//! incident, and the controller keeps escalating until the (ground-truth)
+//! fault is actually cleared, exactly like the fail edges in Fig. 5.
+
+use serde::{Deserialize, Serialize};
+
+use byterobust_agent::{
+    CkptManager, DiagnosisConclusion, Diagnoser, Monitor, OnDemandTracer, SelectiveStressTester,
+};
+use byterobust_analyzer::RuntimeAnalyzer;
+use byterobust_cluster::{Cluster, FaultCategory, FaultEvent, FaultKind, MachineId, RootCause};
+use byterobust_parallelism::ParallelTopology;
+use byterobust_recovery::{
+    DualPhaseReplay, FailoverCost, HotUpdateManager, ReplayConfig, RestartCostModel,
+    StandbyPoolConfig, UpdateRequest, UpdateUrgency, WarmStandbyPool,
+};
+use byterobust_sim::{SimDuration, SimRng, SimTime};
+use byterobust_telemetry::LogClass;
+use byterobust_trainsim::TrainingRuntime;
+
+/// Which mechanism finally resolved an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResolutionMechanism {
+    /// Real-time checks identified the machine; evicted immediately
+    /// (AutoFT-ER fast path).
+    ImmediateEviction,
+    /// Stop-time checks identified the machines; evicted (AutoFT-ER).
+    StopTimeEviction,
+    /// All checks passed; a plain restart cleared the transient fault.
+    Reattempt,
+    /// Reverting recent user code cleared the fault (Rollback).
+    Rollback,
+    /// Dual-phase replay isolated the machines; evicted.
+    DualPhaseReplay,
+    /// The Runtime Analyzer's aggregation analysis over-evicted a parallel
+    /// group (Analyzer-ER).
+    AnalyzerEviction,
+    /// A manual code/data adjustment handled by the in-place hot update
+    /// (AutoFT-HU).
+    HotUpdate,
+}
+
+impl ResolutionMechanism {
+    /// The row label used in Table 4.
+    pub fn table4_label(self) -> &'static str {
+        match self {
+            ResolutionMechanism::ImmediateEviction
+            | ResolutionMechanism::StopTimeEviction
+            | ResolutionMechanism::DualPhaseReplay
+            | ResolutionMechanism::Reattempt => "AutoFT-ER",
+            ResolutionMechanism::HotUpdate => "AutoFT-HU",
+            ResolutionMechanism::AnalyzerEviction => "Analyzer-ER",
+            ResolutionMechanism::Rollback => "Rollback",
+        }
+    }
+}
+
+/// The outcome of handling one incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentOutcome {
+    /// The mechanism that finally resolved the incident.
+    pub mechanism: ResolutionMechanism,
+    /// Machines evicted while resolving it.
+    pub evicted: Vec<MachineId>,
+    /// Whether any of the evictions were over-evictions (analyzer group
+    /// eviction or replay suspect sets larger than the true culprits).
+    pub over_evicted: bool,
+    /// Whether user code was rolled back.
+    pub rolled_back_code: bool,
+    /// Whether a pending hot update was merged into the recovery.
+    pub applied_hot_update: bool,
+    /// The step training resumed from.
+    pub resumed_step: u64,
+    /// The unproductive-time breakdown.
+    pub cost: FailoverCost,
+}
+
+/// Configuration of the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Steps intentionally rolled back after manual restarts to verify
+    /// bit-wise alignment of the new code (§2.1).
+    pub manual_restart_verify_steps: u64,
+    /// Per-machine daily failure probability used to size the standby pool.
+    pub per_machine_daily_failure_prob: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig { manual_restart_verify_steps: 3, per_machine_daily_failure_prob: 0.002 }
+    }
+}
+
+/// The Robust Controller (control plane, §3).
+#[derive(Debug, Clone)]
+pub struct RobustController {
+    /// Configuration.
+    pub config: ControllerConfig,
+    monitor: Monitor,
+    diagnoser: Diagnoser,
+    analyzer: RuntimeAnalyzer,
+    tracer: OnDemandTracer,
+    hot_update: HotUpdateManager,
+    standby_pool: WarmStandbyPool,
+    restart_model: RestartCostModel,
+    stress_baseline: SelectiveStressTester,
+}
+
+impl RobustController {
+    /// Creates a controller for a job hosted on `job_machines` machines.
+    pub fn new(job_machines: usize, rng: SimRng) -> Self {
+        let config = ControllerConfig::default();
+        RobustController {
+            config,
+            monitor: Monitor::new(),
+            diagnoser: Diagnoser::new(rng),
+            analyzer: RuntimeAnalyzer::new(),
+            tracer: OnDemandTracer::new(),
+            hot_update: HotUpdateManager::new(),
+            standby_pool: WarmStandbyPool::new(StandbyPoolConfig::for_job(
+                job_machines,
+                config.per_machine_daily_failure_prob,
+            )),
+            restart_model: RestartCostModel::for_job(job_machines),
+            stress_baseline: SelectiveStressTester::new(),
+        }
+    }
+
+    /// The monitor (for detection-time queries).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Mutable monitor access (metric recording).
+    pub fn monitor_mut(&mut self) -> &mut Monitor {
+        &mut self.monitor
+    }
+
+    /// The hot-update manager.
+    pub fn hot_update(&self) -> &HotUpdateManager {
+        &self.hot_update
+    }
+
+    /// Mutable access to the hot-update manager (to file update requests).
+    pub fn hot_update_mut(&mut self) -> &mut HotUpdateManager {
+        &mut self.hot_update
+    }
+
+    /// The warm-standby pool.
+    pub fn standby_pool(&self) -> &WarmStandbyPool {
+        &self.standby_pool
+    }
+
+    /// The restart-cost model.
+    pub fn restart_model(&self) -> &RestartCostModel {
+        &self.restart_model
+    }
+
+    /// The selective stress-testing baseline (Table 6 comparisons).
+    pub fn stress_baseline(&self) -> &SelectiveStressTester {
+        &self.stress_baseline
+    }
+
+    /// Log class the collected logs would show for a fault, derived from its
+    /// symptom and ground-truth root cause.
+    fn log_class_for(fault: &FaultEvent) -> LogClass {
+        if fault.root_cause == RootCause::UserCode {
+            return LogClass::UserCode;
+        }
+        match fault.kind {
+            FaultKind::CudaError | FaultKind::GpuMemoryError | FaultKind::GpuUnavailable => {
+                LogClass::CudaOrGpu
+            }
+            FaultKind::InfinibandError | FaultKind::JobHang => LogClass::Communication,
+            FaultKind::CpuOom | FaultKind::CpuOverload | FaultKind::InsufficientDiskSpace => {
+                LogClass::HostResource
+            }
+            FaultKind::HdfsError | FaultKind::FilesystemMount => LogClass::Storage,
+            _ => LogClass::Unknown,
+        }
+    }
+
+    /// Whether the fault is actually cleared given what was done so far.
+    fn is_resolved(
+        fault: &FaultEvent,
+        evicted: &[MachineId],
+        rolled_back: bool,
+        restarted: bool,
+    ) -> bool {
+        match fault.root_cause {
+            RootCause::Transient => restarted,
+            RootCause::Human => restarted,
+            RootCause::UserCode => rolled_back,
+            RootCause::Infrastructure => {
+                fault.culprits.iter().all(|c| evicted.contains(c))
+            }
+        }
+    }
+
+    /// Handles one incident end to end, mutating the cluster (evictions,
+    /// standby activation), the runtime (fault clearing, checkpoint restore)
+    /// and the checkpoint manager. Returns the resolution record.
+    pub fn handle_incident(
+        &mut self,
+        fault: &FaultEvent,
+        now: SimTime,
+        cluster: &mut Cluster,
+        runtime: &mut TrainingRuntime,
+        ckpt: &mut CkptManager,
+    ) -> IncidentOutcome {
+        let detection = self.monitor.detection_time_with_inspection(fault.kind);
+        let mut cost = FailoverCost { detection, ..FailoverCost::default() };
+        let mut evicted: Vec<MachineId> = Vec::new();
+        let mut over_evicted = false;
+        let mut rolled_back = false;
+        let mut mechanism;
+
+        match fault.category() {
+            FaultCategory::ManualRestart => {
+                // §6.1: code/data adjustments are folded into an in-place hot
+                // update; no machines change.
+                self.hot_update.submit(UpdateRequest {
+                    requested_at: now,
+                    urgency: UpdateUrgency::NonCritical,
+                    description: "manual code/data adjustment".to_string(),
+                    bug_risk: 0.05,
+                });
+                mechanism = ResolutionMechanism::HotUpdate;
+            }
+            FaultCategory::Implicit if matches!(fault.kind, FaultKind::JobHang | FaultKind::MfuDecline) => {
+                // §5: aggregation analysis and parallel-group over-eviction.
+                let topology = runtime.topology().clone();
+                let decision = self.run_aggregation(fault, runtime, &topology, &mut cost);
+                if decision.is_empty() {
+                    // No outliers (e.g. uniform slowdown): fall back to the
+                    // stop-time path.
+                    mechanism = self.stop_time_path(fault, cluster, runtime, &mut cost, &mut evicted, &mut rolled_back);
+                } else {
+                    over_evicted = decision.over_evicts;
+                    evicted.extend(decision.machines.iter().copied());
+                    mechanism = ResolutionMechanism::AnalyzerEviction;
+                }
+            }
+            _ => {
+                // Explicit failures and NaN values. The monitor's real-time
+                // inspections run first (§4.1 step 1): machines whose
+                // network/GPU/host items are visibly broken are evicted
+                // immediately, skipping stop-time diagnostics.
+                let active = cluster.active_machines();
+                let machine_refs: Vec<&byterobust_cluster::Machine> =
+                    active.iter().map(|&id| cluster.machine(id)).collect();
+                let findings = self.monitor.inspect(&machine_refs, now);
+                let mut flagged: Vec<MachineId> = findings
+                    .iter()
+                    .filter(|f| !f.issue.is_network() || !fault.transient)
+                    .map(|f| f.machine)
+                    .collect();
+                flagged.sort();
+                flagged.dedup();
+                if !flagged.is_empty() {
+                    cost.localization += SimDuration::from_secs(60);
+                    evicted.extend(flagged);
+                    mechanism = ResolutionMechanism::ImmediateEviction;
+                } else if fault.kind.is_high_confidence_machine_fault()
+                    && !fault.culprits.is_empty()
+                {
+                    cost.localization += SimDuration::from_secs(60);
+                    evicted.extend(fault.culprits.iter().copied());
+                    mechanism = ResolutionMechanism::ImmediateEviction;
+                } else {
+                    mechanism = self.stop_time_path(fault, cluster, runtime, &mut cost, &mut evicted, &mut rolled_back);
+                }
+            }
+        }
+
+        // Escalation loop (Fig. 5 fail edges): if what we did cannot actually
+        // clear the fault, keep going — reattempt, rollback, replay, and as a
+        // last resort evict the culprits found by replay.
+        if !Self::is_resolved(fault, &evicted, rolled_back, true) {
+            // Try rollback (human error in recent code).
+            if !rolled_back && fault.root_cause == RootCause::UserCode {
+                rolled_back = true;
+                cost.localization += self.restart_model.hot_update_time();
+                mechanism = ResolutionMechanism::Rollback;
+            }
+        }
+        if !Self::is_resolved(fault, &evicted, rolled_back, true) {
+            // Dual-phase replay over the machines still in the job.
+            let pp = runtime.job().parallelism.pp.max(1);
+            let gpus_per_machine = runtime.job().parallelism.gpus_per_machine.max(1);
+            let pp_machines = (pp * runtime.job().parallelism.tp).div_ceil(gpus_per_machine).max(1);
+            let replay = DualPhaseReplay::new(ReplayConfig::new(pp_machines));
+            let machines: Vec<MachineId> = cluster.active_machines();
+            let faulty: std::collections::HashSet<MachineId> =
+                fault.culprits.iter().copied().collect();
+            let outcome = if fault.reproducible {
+                replay.locate_with_ground_truth(&machines, &faulty)
+            } else {
+                replay.locate(&machines, |_| false)
+            };
+            cost.localization += outcome.duration;
+            if outcome.found_suspects() {
+                if outcome.suspects.len() > fault.culprits.len() {
+                    over_evicted = true;
+                }
+                evicted.extend(outcome.suspects);
+                mechanism = ResolutionMechanism::DualPhaseReplay;
+            } else if !fault.culprits.is_empty() {
+                // Not reproducible: over-evict the culprits' machines based on
+                // repeated occurrence history (the paper eventually isolates
+                // them through background stress testing).
+                cost.localization += SimDuration::from_mins(30);
+                evicted.extend(fault.culprits.iter().copied());
+                over_evicted = true;
+                mechanism = ResolutionMechanism::StopTimeEviction;
+            }
+        }
+
+        // Recovery: evictions, standby activation, hot-update merge,
+        // checkpoint restore, recomputation.
+        evicted.sort();
+        evicted.dedup();
+        self.recover(fault, now, cluster, runtime, ckpt, &evicted, rolled_back, &mut cost, &mut mechanism);
+
+        let applied_hot_update = mechanism == ResolutionMechanism::HotUpdate
+            || (self.hot_update.history().last().map(|h| h.applied_at) == Some(now));
+
+        IncidentOutcome {
+            mechanism,
+            over_evicted,
+            rolled_back_code: rolled_back,
+            applied_hot_update,
+            resumed_step: runtime.current_step(),
+            evicted,
+            cost,
+        }
+    }
+
+    /// Runs the aggregation analysis for an implicit failure.
+    fn run_aggregation(
+        &mut self,
+        fault: &FaultEvent,
+        runtime: &TrainingRuntime,
+        topology: &ParallelTopology,
+        cost: &mut FailoverCost,
+    ) -> byterobust_analyzer::EvictionDecision {
+        if fault.kind == FaultKind::MfuDecline {
+            let (captures, capture_time) =
+                self.tracer.capture_rounds(runtime, 5, SimDuration::from_secs(10));
+            let outcome = self.analyzer.analyze_fail_slow(topology, &captures);
+            cost.localization += capture_time + self.analyzer.config.aggregation_latency;
+            outcome.decision
+        } else {
+            let (stacks, capture_time) = self.tracer.capture(runtime);
+            let outcome = self.analyzer.analyze_hang(topology, &stacks);
+            cost.localization += capture_time + outcome.duration;
+            outcome.decision
+        }
+    }
+
+    /// The hierarchical stop-time path (diagnose → evict / reattempt /
+    /// rollback), returning the mechanism it settled on.
+    #[allow(clippy::too_many_arguments)]
+    fn stop_time_path(
+        &mut self,
+        fault: &FaultEvent,
+        cluster: &Cluster,
+        runtime: &TrainingRuntime,
+        cost: &mut FailoverCost,
+        evicted: &mut Vec<MachineId>,
+        rolled_back: &mut bool,
+    ) -> ResolutionMechanism {
+        let _ = runtime;
+        let log_class = Self::log_class_for(fault);
+        let machines = cluster.active_machines();
+        let outcome = self.diagnoser.diagnose(cluster, &machines, fault.kind, log_class);
+        cost.localization += outcome.duration;
+        match outcome.conclusion {
+            DiagnosisConclusion::FaultyMachines => {
+                evicted.extend(outcome.suspects);
+                ResolutionMechanism::StopTimeEviction
+            }
+            DiagnosisConclusion::UserCodeSuspected => {
+                *rolled_back = true;
+                ResolutionMechanism::Rollback
+            }
+            DiagnosisConclusion::AllTestsPassed => ResolutionMechanism::Reattempt,
+        }
+    }
+
+    /// Executes the recovery: evict machines, awaken standbys, merge pending
+    /// hot updates, restore the checkpoint, account for recomputation.
+    #[allow(clippy::too_many_arguments)]
+    fn recover(
+        &mut self,
+        fault: &FaultEvent,
+        now: SimTime,
+        cluster: &mut Cluster,
+        runtime: &mut TrainingRuntime,
+        ckpt: &mut CkptManager,
+        evicted: &[MachineId],
+        rolled_back: bool,
+        cost: &mut FailoverCost,
+        mechanism: &mut ResolutionMechanism,
+    ) {
+        // Evict and blacklist.
+        for &m in evicted {
+            let over = !fault.culprits.contains(&m);
+            cluster.evict_machine(m, now, fault.kind, over);
+        }
+
+        // Scheduling: warm standbys for evictions, in-place restart otherwise.
+        if evicted.is_empty() {
+            cost.scheduling += self.restart_model.hot_update_time();
+        } else {
+            cost.scheduling +=
+                self.restart_model.warm_standby_time(&mut self.standby_pool, evicted.len(), now);
+            // Activate as many ready standbys as we were granted.
+            let standbys = cluster.standby_machines();
+            for standby in standbys.into_iter().take(evicted.len()) {
+                cluster.activate_standby(standby);
+            }
+        }
+
+        // Merge pending (lazy) hot updates into this restart (§6.1), or apply
+        // the rollback.
+        if rolled_back {
+            if let Some(version) = self.hot_update.rollback() {
+                runtime.set_code_version(version);
+            } else {
+                // Nothing recorded to roll back (e.g. the defect predates this
+                // job's update history); revert to a fresh initial version.
+                runtime.set_code_version(byterobust_trainsim::CodeVersion::initial());
+            }
+        } else if self.hot_update.has_pending() {
+            if let Some(version) = self.hot_update.apply_pending(now) {
+                runtime.set_code_version(version);
+                if *mechanism == ResolutionMechanism::Reattempt {
+                    *mechanism = ResolutionMechanism::HotUpdate;
+                }
+            }
+        }
+
+        // Checkpoint restore and recomputation.
+        let step_duration = runtime.nominal_step_duration();
+        match ckpt.best_recovery_point(evicted) {
+            Some(rp) => {
+                cost.checkpoint_load += rp.load_time;
+                let lost_steps = runtime.current_step().saturating_sub(rp.step);
+                let verify_steps = if fault.category() == FaultCategory::ManualRestart {
+                    self.config.manual_restart_verify_steps
+                } else {
+                    0
+                };
+                runtime.restore_to_step(rp.step.saturating_sub(verify_steps));
+                cost.recompute += step_duration.mul(lost_steps + verify_steps);
+            }
+            None => {
+                // No checkpoint yet (very early in the job): restart from the
+                // current step without a load.
+            }
+        }
+
+        runtime.clear_fault();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byterobust_agent::CkptManager;
+    use byterobust_cluster::ClusterSpec;
+    use byterobust_trainsim::JobSpec;
+
+    struct Fixture {
+        controller: RobustController,
+        cluster: Cluster,
+        runtime: TrainingRuntime,
+        ckpt: CkptManager,
+    }
+
+    fn fixture() -> Fixture {
+        let job = JobSpec::small_test();
+        let cluster = Cluster::build(ClusterSpec::small_test());
+        let runtime = TrainingRuntime::new(job.clone());
+        let ckpt = CkptManager::byterobust_default(&job);
+        let controller = RobustController::new(job.machines(), SimRng::new(7));
+        Fixture { controller, cluster, runtime, ckpt }
+    }
+
+    fn train_some_steps(f: &mut Fixture, steps: u64) {
+        for s in 1..=steps {
+            let m = f.runtime.execute_step(1.0, SimDuration::ZERO);
+            let breakdown = byterobust_trainsim::StepModel::new(f.runtime.job().clone()).step(
+                f.runtime.code_version(),
+                1.0,
+                SimDuration::ZERO,
+            );
+            f.ckpt.on_step(s, &breakdown);
+            let _ = m;
+        }
+    }
+
+    fn fault(kind: FaultKind, root_cause: RootCause, culprits: Vec<MachineId>) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::from_hours(1),
+            kind,
+            root_cause,
+            culprits,
+            transient: root_cause == RootCause::Transient,
+            reproducible: true,
+            seq: 1,
+        }
+    }
+
+    #[test]
+    fn gpu_unavailable_is_evicted_immediately() {
+        let mut f = fixture();
+        train_some_steps(&mut f, 10);
+        let victim = MachineId(3);
+        f.cluster.machine_mut(victim).gpu_mut(0).mark_lost();
+        let event = fault(FaultKind::GpuUnavailable, RootCause::Infrastructure, vec![victim]);
+        let outcome = f.controller.handle_incident(
+            &event,
+            SimTime::from_hours(1),
+            &mut f.cluster,
+            &mut f.runtime,
+            &mut f.ckpt,
+        );
+        assert_eq!(outcome.mechanism, ResolutionMechanism::ImmediateEviction);
+        assert_eq!(outcome.evicted, vec![victim]);
+        assert!(f.cluster.blacklist.contains(victim));
+        // Detection at the GPU inspection interval (10 s).
+        assert_eq!(outcome.cost.detection, SimDuration::from_secs(10));
+        // Recovery resumed from the latest in-memory checkpoint.
+        assert_eq!(outcome.resumed_step, 10);
+        // A standby was activated to replace the eviction.
+        assert_eq!(f.cluster.active_machines().len(), 16);
+    }
+
+    #[test]
+    fn user_code_cuda_error_rolls_back() {
+        let mut f = fixture();
+        train_some_steps(&mut f, 5);
+        // Deploy an update first so there is something to roll back.
+        f.controller.hot_update_mut().submit(UpdateRequest {
+            requested_at: SimTime::ZERO,
+            urgency: UpdateUrgency::NonCritical,
+            description: "new fused kernel".to_string(),
+            bug_risk: 0.9,
+        });
+        f.controller.hot_update_mut().apply_pending(SimTime::from_secs(1800));
+        let event = fault(FaultKind::CudaError, RootCause::UserCode, vec![]);
+        let outcome = f.controller.handle_incident(
+            &event,
+            SimTime::from_hours(1),
+            &mut f.cluster,
+            &mut f.runtime,
+            &mut f.ckpt,
+        );
+        assert_eq!(outcome.mechanism, ResolutionMechanism::Rollback);
+        assert!(outcome.rolled_back_code);
+        assert!(outcome.evicted.is_empty());
+    }
+
+    #[test]
+    fn transient_infiniband_error_is_reattempted() {
+        let mut f = fixture();
+        train_some_steps(&mut f, 5);
+        let event = fault(FaultKind::InfinibandError, RootCause::Transient, vec![MachineId(2)]);
+        let outcome = f.controller.handle_incident(
+            &event,
+            SimTime::from_hours(1),
+            &mut f.cluster,
+            &mut f.runtime,
+            &mut f.ckpt,
+        );
+        assert_eq!(outcome.mechanism, ResolutionMechanism::Reattempt);
+        assert!(outcome.evicted.is_empty());
+        assert_eq!(f.cluster.active_machines().len(), 16);
+    }
+
+    #[test]
+    fn job_hang_goes_through_analyzer_over_eviction() {
+        let mut f = fixture();
+        train_some_steps(&mut f, 8);
+        let victim = MachineId(6);
+        f.runtime.inject_hang(vec![victim]);
+        let event = fault(FaultKind::JobHang, RootCause::Infrastructure, vec![victim]);
+        let outcome = f.controller.handle_incident(
+            &event,
+            SimTime::from_hours(2),
+            &mut f.cluster,
+            &mut f.runtime,
+            &mut f.ckpt,
+        );
+        assert_eq!(outcome.mechanism, ResolutionMechanism::AnalyzerEviction);
+        assert!(outcome.evicted.contains(&victim));
+        // Over-eviction is bounded: at most one machine per pipeline stage.
+        assert!(outcome.evicted.len() <= f.runtime.job().parallelism.pp);
+        // The job resumes from the latest checkpoint and the fault is cleared.
+        assert_eq!(f.runtime.status(), byterobust_trainsim::RuntimeStatus::Running);
+        // Detection waited for the zero-RDMA-traffic window (10 minutes).
+        assert_eq!(outcome.cost.detection, SimDuration::from_mins(10));
+    }
+
+    #[test]
+    fn manual_restart_is_hot_update_with_verify_rollback() {
+        let mut f = fixture();
+        train_some_steps(&mut f, 20);
+        let event = fault(FaultKind::CodeDataAdjustment, RootCause::Human, vec![]);
+        let before_version = f.runtime.code_version().version;
+        let outcome = f.controller.handle_incident(
+            &event,
+            SimTime::from_hours(3),
+            &mut f.cluster,
+            &mut f.runtime,
+            &mut f.ckpt,
+        );
+        assert_eq!(outcome.mechanism, ResolutionMechanism::HotUpdate);
+        assert!(outcome.applied_hot_update);
+        assert!(outcome.evicted.is_empty());
+        // Training intentionally rolled back a few steps for verification.
+        assert_eq!(outcome.resumed_step, 20 - f.controller.config.manual_restart_verify_steps);
+        // The code version advanced.
+        assert!(f.runtime.code_version().version > before_version);
+        // No pod rebuild for in-place updates.
+        assert_eq!(outcome.cost.pod_build, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn irreproducible_nan_still_gets_isolated_eventually() {
+        let mut f = fixture();
+        train_some_steps(&mut f, 6);
+        let victim = MachineId(9);
+        f.cluster.machine_mut(victim).gpu_mut(1).sdc_prone = true;
+        let mut event = fault(FaultKind::NanValue, RootCause::Infrastructure, vec![victim]);
+        event.reproducible = false;
+        let outcome = f.controller.handle_incident(
+            &event,
+            SimTime::from_hours(1),
+            &mut f.cluster,
+            &mut f.runtime,
+            &mut f.ckpt,
+        );
+        // Whatever path was taken, the culprit ends up evicted and training
+        // resumes.
+        assert!(outcome.evicted.contains(&victim), "outcome: {outcome:?}");
+        assert!(f.cluster.blacklist.contains(victim));
+    }
+
+    #[test]
+    fn table4_labels() {
+        assert_eq!(ResolutionMechanism::ImmediateEviction.table4_label(), "AutoFT-ER");
+        assert_eq!(ResolutionMechanism::HotUpdate.table4_label(), "AutoFT-HU");
+        assert_eq!(ResolutionMechanism::AnalyzerEviction.table4_label(), "Analyzer-ER");
+        assert_eq!(ResolutionMechanism::Rollback.table4_label(), "Rollback");
+    }
+}

@@ -1,0 +1,38 @@
+//! ByteRobust core: the Robust Controller, the automated fault-tolerance
+//! framework (Fig. 5), ETTR accounting, and the end-to-end job lifecycle
+//! driver that every deployment-style experiment (§8.1) runs on.
+//!
+//! The crates below this one provide the substrates (cluster, workload,
+//! telemetry, checkpointing, recovery mechanisms, analyzer); this crate wires
+//! them together exactly the way the paper's control plane does:
+//!
+//! * [`ft::RobustController`] — handles one incident end to end: detection
+//!   latency, real-time-check routing, stop-time checks, reattempt, rollback,
+//!   dual-phase replay, aggregation analysis, eviction, and recovery, charging
+//!   every phase to the incident's unproductive time,
+//! * [`ettr::EttrTracker`] — cumulative and sliding-window effective-training-
+//!   time-ratio accounting (Fig. 10),
+//! * [`lifecycle::JobLifecycle`] — drives a whole training job (three months
+//!   of simulated time if asked) against the fault injector and produces a
+//!   [`report::JobReport`] with everything the §8.1 figures and tables need.
+
+pub mod config;
+pub mod ettr;
+pub mod ft;
+pub mod lifecycle;
+pub mod report;
+
+pub use config::JobConfig;
+pub use ettr::EttrTracker;
+pub use ft::{IncidentOutcome, ResolutionMechanism, RobustController};
+pub use lifecycle::JobLifecycle;
+pub use report::{IncidentRecord, JobReport};
+
+/// Convenience prelude for applications and examples.
+pub mod prelude {
+    pub use crate::config::JobConfig;
+    pub use crate::ettr::EttrTracker;
+    pub use crate::ft::{IncidentOutcome, ResolutionMechanism, RobustController};
+    pub use crate::lifecycle::JobLifecycle;
+    pub use crate::report::{IncidentRecord, JobReport};
+}

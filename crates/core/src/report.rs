@@ -1,0 +1,283 @@
+//! Job reports: everything the §8.1 deployment figures and tables are
+//! derived from.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use byterobust_cluster::{FaultCategory, FaultKind, RootCause};
+use byterobust_recovery::FailoverCost;
+use byterobust_sim::{SimDuration, SimTime};
+
+use crate::ettr::EttrTracker;
+use crate::ft::ResolutionMechanism;
+
+/// One resolved incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentRecord {
+    /// When the incident started.
+    pub at: SimTime,
+    /// Symptom.
+    pub kind: FaultKind,
+    /// Category (explicit / implicit / manual restart).
+    pub category: FaultCategory,
+    /// Ground-truth root cause.
+    pub root_cause: RootCause,
+    /// Mechanism that resolved it.
+    pub mechanism: ResolutionMechanism,
+    /// Unproductive-time breakdown.
+    pub cost: FailoverCost,
+    /// Number of machines evicted.
+    pub evicted_count: usize,
+    /// Whether the eviction over-evicted healthy machines.
+    pub over_evicted: bool,
+}
+
+impl IncidentRecord {
+    /// The "resolution time" Table 6 measures: from failure localization to
+    /// successful restart (scheduling + pod rebuild + checkpoint load).
+    pub fn resolution_time(&self) -> SimDuration {
+        self.cost.scheduling + self.cost.pod_build + self.cost.checkpoint_load
+    }
+}
+
+/// A point of the reported MFU / loss series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Simulated time of the sample.
+    pub at: SimTime,
+    /// Optimizer step at the sample.
+    pub step: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// The full report of one simulated job run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Human-readable name of the job.
+    pub job_name: String,
+    /// ETTR accounting.
+    pub ettr: EttrTracker,
+    /// Absolute MFU over time (one sample per productive interval).
+    pub mfu_series: Vec<SeriesPoint>,
+    /// Training loss over time.
+    pub loss_series: Vec<SeriesPoint>,
+    /// Every incident, in order.
+    pub incidents: Vec<IncidentRecord>,
+    /// Final optimizer step reached.
+    pub final_step: u64,
+    /// Number of code versions deployed over the job (hot updates applied).
+    pub code_versions_deployed: u32,
+}
+
+impl JobReport {
+    /// Relative MFU series: each sample divided by the minimum sample, the
+    /// normalization used by Fig. 2 and Fig. 11.
+    pub fn relative_mfu_series(&self) -> Vec<SeriesPoint> {
+        let min = self
+            .mfu_series
+            .iter()
+            .map(|p| p.value)
+            .fold(f64::INFINITY, f64::min);
+        if !min.is_finite() || min <= 0.0 {
+            return self.mfu_series.clone();
+        }
+        self.mfu_series
+            .iter()
+            .map(|p| SeriesPoint { value: p.value / min, ..*p })
+            .collect()
+    }
+
+    /// Incident counts grouped by (Table 4 mechanism label, category).
+    pub fn resolution_counts(&self) -> BTreeMap<(&'static str, &'static str), usize> {
+        let mut counts = BTreeMap::new();
+        for incident in &self.incidents {
+            let category = match incident.category {
+                FaultCategory::Explicit => "Explicit",
+                FaultCategory::Implicit => "Implicit",
+                FaultCategory::ManualRestart => "Manual Restart",
+            };
+            *counts.entry((incident.mechanism.table4_label(), category)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Share of incidents resolved by each concrete mechanism (the §4.2
+    /// "lesson" percentages: eviction, reattempt, rollback, dual-phase
+    /// replay, ...).
+    pub fn mechanism_shares(&self) -> BTreeMap<&'static str, f64> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for incident in &self.incidents {
+            let name = match incident.mechanism {
+                ResolutionMechanism::ImmediateEviction => "Real-time eviction",
+                ResolutionMechanism::StopTimeEviction => "Stop-time eviction",
+                ResolutionMechanism::Reattempt => "Reattempt",
+                ResolutionMechanism::Rollback => "Rollback",
+                ResolutionMechanism::DualPhaseReplay => "Dual-phase replay",
+                ResolutionMechanism::AnalyzerEviction => "Analyzer eviction",
+                ResolutionMechanism::HotUpdate => "Hot update",
+            };
+            *counts.entry(name).or_insert(0) += 1;
+        }
+        let total = self.incidents.len().max(1) as f64;
+        counts.into_iter().map(|(k, v)| (k, v as f64 / total)).collect()
+    }
+
+    /// Mean unproductive-time breakdown per incident category (Fig. 3):
+    /// (detection, localization, failover) means in seconds.
+    pub fn unproductive_breakdown(&self) -> BTreeMap<&'static str, (f64, f64, f64)> {
+        let mut sums: BTreeMap<&'static str, (f64, f64, f64, usize)> = BTreeMap::new();
+        for incident in &self.incidents {
+            let category = match incident.category {
+                FaultCategory::Explicit => "Explicit",
+                FaultCategory::Implicit => "Implicit",
+                FaultCategory::ManualRestart => "Manual Restart",
+            };
+            let entry = sums.entry(category).or_insert((0.0, 0.0, 0.0, 0));
+            entry.0 += incident.cost.detection.as_secs_f64();
+            entry.1 += incident.cost.localization.as_secs_f64();
+            entry.2 += incident.cost.failover_only().as_secs_f64();
+            entry.3 += 1;
+        }
+        sums.into_iter()
+            .map(|(k, (d, l, f, n))| (k, (d / n as f64, l / n as f64, f / n as f64)))
+            .collect()
+    }
+
+    /// Mean and max resolution time (Table 6 "ours" columns) per symptom, in
+    /// seconds.
+    pub fn resolution_time_by_symptom(&self) -> BTreeMap<FaultKind, (f64, f64)> {
+        let mut acc: BTreeMap<FaultKind, Vec<f64>> = BTreeMap::new();
+        for incident in &self.incidents {
+            acc.entry(incident.kind).or_default().push(incident.resolution_time().as_secs_f64());
+        }
+        acc.into_iter()
+            .map(|(k, v)| {
+                let mean = v.iter().sum::<f64>() / v.len() as f64;
+                let max = v.iter().copied().fold(0.0, f64::max);
+                (k, (mean, max))
+            })
+            .collect()
+    }
+
+    /// Incident counts per symptom (Table 1-style distribution).
+    pub fn incident_counts_by_symptom(&self) -> BTreeMap<FaultKind, usize> {
+        let mut counts = BTreeMap::new();
+        for incident in &self.incidents {
+            *counts.entry(incident.kind).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Total number of machines evicted over the run, and how many of those
+    /// evictions were over-evictions (the §9 false-positive discussion).
+    pub fn eviction_stats(&self) -> (usize, usize) {
+        let total = self.incidents.iter().map(|i| i.evicted_count).sum();
+        let over = self
+            .incidents
+            .iter()
+            .filter(|i| i.over_evicted)
+            .map(|i| i.evicted_count)
+            .sum();
+        (total, over)
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: FaultKind, mechanism: ResolutionMechanism) -> IncidentRecord {
+        IncidentRecord {
+            at: SimTime::from_hours(1),
+            kind,
+            category: kind.category(),
+            root_cause: RootCause::Infrastructure,
+            mechanism,
+            cost: FailoverCost {
+                detection: SimDuration::from_secs(30),
+                localization: SimDuration::from_secs(120),
+                scheduling: SimDuration::from_secs(60),
+                pod_build: SimDuration::ZERO,
+                checkpoint_load: SimDuration::from_secs(20),
+                recompute: SimDuration::from_secs(15),
+            },
+            evicted_count: 1,
+            over_evicted: false,
+        }
+    }
+
+    fn report() -> JobReport {
+        JobReport {
+            job_name: "test".to_string(),
+            ettr: EttrTracker::new(),
+            mfu_series: vec![
+                SeriesPoint { at: SimTime::from_hours(1), step: 10, value: 0.30 },
+                SeriesPoint { at: SimTime::from_hours(2), step: 20, value: 0.45 },
+            ],
+            loss_series: vec![],
+            incidents: vec![
+                record(FaultKind::CudaError, ResolutionMechanism::StopTimeEviction),
+                record(FaultKind::CudaError, ResolutionMechanism::Reattempt),
+                record(FaultKind::JobHang, ResolutionMechanism::AnalyzerEviction),
+                record(FaultKind::CodeDataAdjustment, ResolutionMechanism::HotUpdate),
+            ],
+            final_step: 1000,
+            code_versions_deployed: 3,
+        }
+    }
+
+    #[test]
+    fn relative_mfu_normalizes_to_minimum() {
+        let r = report();
+        let rel = r.relative_mfu_series();
+        assert!((rel[0].value - 1.0).abs() < 1e-9);
+        assert!((rel[1].value - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolution_counts_grouped_by_label_and_category() {
+        let r = report();
+        let counts = r.resolution_counts();
+        assert_eq!(counts[&("AutoFT-ER", "Explicit")], 2);
+        assert_eq!(counts[&("Analyzer-ER", "Implicit")], 1);
+        assert_eq!(counts[&("AutoFT-HU", "Manual Restart")], 1);
+    }
+
+    #[test]
+    fn mechanism_shares_sum_to_one() {
+        let r = report();
+        let shares = r.mechanism_shares();
+        let total: f64 = shares.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolution_time_is_scheduling_plus_load() {
+        let r = report();
+        let by_symptom = r.resolution_time_by_symptom();
+        let (mean, max) = by_symptom[&FaultKind::CudaError];
+        assert!((mean - 80.0).abs() < 1e-9);
+        assert!((max - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unproductive_breakdown_has_all_categories() {
+        let r = report();
+        let breakdown = r.unproductive_breakdown();
+        assert!(breakdown.contains_key("Explicit"));
+        assert!(breakdown.contains_key("Implicit"));
+        assert!(breakdown.contains_key("Manual Restart"));
+        let (d, l, f) = breakdown["Explicit"];
+        assert!(d > 0.0 && l > 0.0 && f > 0.0);
+    }
+
+    #[test]
+    fn eviction_stats_counts() {
+        let r = report();
+        let (total, over) = r.eviction_stats();
+        assert_eq!(total, 4);
+        assert_eq!(over, 0);
+    }
+}

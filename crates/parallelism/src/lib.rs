@@ -1,0 +1,33 @@
+//! 3D/4D parallelism topology: rank ↔ machine mapping, TP/PP/DP/EP parallel
+//! groups, and the cross-parallel-group backup-peer selection used by
+//! over-eviction-aware checkpointing (Fig. 9 in the paper).
+//!
+//! The rank layout follows the convention used in the paper's figures
+//! (Fig. 7 and Fig. 9): the tensor-parallel index varies fastest, then the
+//! data-parallel index, then the pipeline-parallel index:
+//!
+//! ```text
+//! rank = tp_idx + TP * dp_idx + TP * DP * pp_idx
+//! ```
+//!
+//! With 2 GPUs per machine and TP=2 this reproduces Fig. 7 exactly: machine 0
+//! hosts ranks {0,1} (a TP group), machines 0–3 form a DP group row, and
+//! machines {0,4,8,12} form a PP group column.
+
+pub mod backup;
+pub mod config;
+pub mod groups;
+pub mod rank;
+
+pub use backup::BackupAssignment;
+pub use config::ParallelismConfig;
+pub use groups::{GroupKind, ParallelGroup, ParallelTopology};
+pub use rank::{Rank, RankCoords, RankMapping};
+
+/// Convenience prelude for downstream crates.
+pub mod prelude {
+    pub use crate::backup::BackupAssignment;
+    pub use crate::config::ParallelismConfig;
+    pub use crate::groups::{GroupKind, ParallelGroup, ParallelTopology};
+    pub use crate::rank::{Rank, RankCoords, RankMapping};
+}

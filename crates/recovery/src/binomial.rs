@@ -1,0 +1,125 @@
+//! Binomial distribution helpers for warm-standby sizing.
+//!
+//! ByteRobust models simultaneous machine failures with a binomial
+//! distribution — `n` machines, each failing within the provisioning horizon
+//! with probability `p` — and provisions the P99 of that distribution as warm
+//! standbys (§6.2).
+
+/// Probability mass function of `Binomial(n, p)` at `k`, computed in log
+/// space to stay stable for large `n`.
+pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln_choose = ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k);
+    (ln_choose + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Cumulative distribution function of `Binomial(n, p)` at `k`.
+pub fn binomial_cdf(n: u64, p: f64, k: u64) -> f64 {
+    (0..=k.min(n)).map(|i| binomial_pmf(n, p, i)).sum::<f64>().min(1.0)
+}
+
+/// Smallest `k` such that `P[X <= k] >= q` for `X ~ Binomial(n, p)`.
+///
+/// # Panics
+/// Panics if `q` is not in `(0, 1]`.
+pub fn binomial_quantile(n: u64, p: f64, q: f64) -> u64 {
+    assert!(q > 0.0 && q <= 1.0, "quantile level must be in (0, 1]");
+    let mut cumulative = 0.0;
+    for k in 0..=n {
+        cumulative += binomial_pmf(n, p, k);
+        if cumulative >= q {
+            return k;
+        }
+    }
+    n
+}
+
+/// Natural log of `x!` via Stirling's series for large `x` and a direct sum
+/// otherwise.
+fn ln_factorial(x: u64) -> f64 {
+    if x < 2 {
+        return 0.0;
+    }
+    if x < 64 {
+        return (2..=x).map(|i| (i as f64).ln()).sum();
+    }
+    let xf = x as f64;
+    xf * xf.ln() - xf + 0.5 * (2.0 * std::f64::consts::PI * xf).ln() + 1.0 / (12.0 * xf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let n = 50;
+        let p = 0.13;
+        let total: f64 = (0..=n).map(|k| binomial_pmf(n, p, k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn pmf_degenerate_cases() {
+        assert_eq!(binomial_pmf(10, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(10, 0.0, 1), 0.0);
+        assert_eq!(binomial_pmf(10, 1.0, 10), 1.0);
+        assert_eq!(binomial_pmf(10, 0.5, 11), 0.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let n = 100;
+        let p = 0.02;
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = binomial_cdf(n, p, k);
+            assert!(c >= prev - 1e-12);
+            assert!(c <= 1.0 + 1e-12);
+            prev = c;
+        }
+        assert!((binomial_cdf(n, p, n) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_matches_known_values() {
+        // Binomial(1024, 0.002): mean ~2.05; P99 should be a small handful.
+        let p99 = binomial_quantile(1024, 0.002, 0.99);
+        assert!((4..=8).contains(&p99), "p99 = {p99}");
+        // The median of Binomial(100, 0.5) is 50.
+        assert_eq!(binomial_quantile(100, 0.5, 0.5), 50);
+        // Quantile of a zero-probability event is 0.
+        assert_eq!(binomial_quantile(1000, 0.0, 0.99), 0);
+    }
+
+    #[test]
+    fn quantile_monotone_in_level() {
+        let n = 500;
+        let p = 0.01;
+        let q50 = binomial_quantile(n, p, 0.50);
+        let q90 = binomial_quantile(n, p, 0.90);
+        let q99 = binomial_quantile(n, p, 0.99);
+        assert!(q50 <= q90 && q90 <= q99);
+    }
+
+    #[test]
+    fn large_n_is_stable() {
+        // 10k machines with small probability: quantile should stay sane.
+        let q = binomial_quantile(10_000, 0.0005, 0.99);
+        assert!((5..=15).contains(&q), "q = {q}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn invalid_quantile_level_panics() {
+        let _ = binomial_quantile(10, 0.5, 0.0);
+    }
+}

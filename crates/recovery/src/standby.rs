@@ -1,0 +1,211 @@
+//! Warm-standby machine pool (§6.2).
+//!
+//! ByteRobust keeps a small pool of pre-provisioned machines — pod environment
+//! initialized, self-checked, sleeping in a low-power polling loop — sized at
+//! the P99 of the binomial simultaneous-failure distribution. On eviction the
+//! controller awakens standbys instead of asking the cluster scheduler for new
+//! machines; the pool is replenished asynchronously afterwards.
+
+use serde::{Deserialize, Serialize};
+
+use byterobust_sim::{SimDuration, SimTime};
+
+use crate::binomial::binomial_quantile;
+
+/// Sizing and timing parameters for the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StandbyPoolConfig {
+    /// Machines in the training job.
+    pub job_machines: usize,
+    /// Probability that an individual machine fails within the provisioning
+    /// horizon (derived from historical data; §6.2).
+    pub per_machine_failure_prob: f64,
+    /// Quantile of the simultaneous-failure distribution to provision for.
+    pub quantile: f64,
+    /// Time to wake a sleeping standby and let it join the job at the next
+    /// barrier (§7: the barrier poll loop).
+    pub awaken_time: SimDuration,
+    /// Time to provision a brand-new standby from the free pool: machine
+    /// allocation, image installation, library download, self-check.
+    pub provision_time: SimDuration,
+}
+
+impl StandbyPoolConfig {
+    /// Production-flavoured defaults for a job of `job_machines` machines.
+    pub fn for_job(job_machines: usize, per_machine_failure_prob: f64) -> Self {
+        StandbyPoolConfig {
+            job_machines,
+            per_machine_failure_prob,
+            quantile: 0.99,
+            awaken_time: SimDuration::from_secs(60),
+            provision_time: SimDuration::from_secs(420),
+        }
+    }
+
+    /// The P99 pool size for this configuration.
+    pub fn p99_pool_size(&self) -> usize {
+        binomial_quantile(self.job_machines as u64, self.per_machine_failure_prob, self.quantile)
+            .max(1) as usize
+    }
+}
+
+/// The result of asking the pool to cover an eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StandbyGrant {
+    /// Standbys awakened immediately.
+    pub granted: usize,
+    /// Machines that still need to be rescheduled from the free pool
+    /// (evictions exceeding the ready standbys).
+    pub shortfall: usize,
+}
+
+/// The warm-standby pool state machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmStandbyPool {
+    config: StandbyPoolConfig,
+    target_size: usize,
+    ready: usize,
+    /// Completion times of in-flight replenishments.
+    provisioning: Vec<SimTime>,
+}
+
+impl WarmStandbyPool {
+    /// Creates a pool at its target (P99) size, fully provisioned.
+    pub fn new(config: StandbyPoolConfig) -> Self {
+        let target = config.p99_pool_size();
+        WarmStandbyPool { config, target_size: target, ready: target, provisioning: Vec::new() }
+    }
+
+    /// The pool's sizing configuration.
+    pub fn config(&self) -> &StandbyPoolConfig {
+        &self.config
+    }
+
+    /// Target (P99) pool size.
+    pub fn target_size(&self) -> usize {
+        self.target_size
+    }
+
+    /// Standbys ready right now.
+    pub fn ready(&self) -> usize {
+        self.ready
+    }
+
+    /// Replenishments still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.provisioning.len()
+    }
+
+    /// Moves completed replenishments into the ready pool as of `now`.
+    pub fn tick(&mut self, now: SimTime) {
+        let (done, pending): (Vec<SimTime>, Vec<SimTime>) =
+            self.provisioning.iter().partition(|&&t| t <= now);
+        self.ready += done.len();
+        self.provisioning = pending;
+    }
+
+    /// Requests standbys to cover `evicted` machines at time `now`.
+    ///
+    /// Ready standbys are granted immediately; any shortfall must be
+    /// rescheduled by the caller. Replenishment for everything consumed is
+    /// kicked off asynchronously and completes after the provisioning delay.
+    pub fn request(&mut self, evicted: usize, now: SimTime) -> StandbyGrant {
+        self.tick(now);
+        let granted = evicted.min(self.ready);
+        let shortfall = evicted - granted;
+        self.ready -= granted;
+        // Replenish what was consumed (and any standing deficit vs target).
+        let deficit = self.target_size.saturating_sub(self.ready + self.provisioning.len());
+        for _ in 0..deficit {
+            self.provisioning.push(now + self.config.provision_time);
+        }
+        StandbyGrant { granted, shortfall }
+    }
+
+    /// Time for granted standbys to join the job (wake from sleep + barrier).
+    pub fn awaken_time(&self) -> SimDuration {
+        self.config.awaken_time
+    }
+
+    /// Time for the caller to reschedule a shortfall machine from scratch.
+    pub fn provision_time(&self) -> SimDuration {
+        self.config.provision_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> WarmStandbyPool {
+        WarmStandbyPool::new(StandbyPoolConfig::for_job(1024, 0.002))
+    }
+
+    #[test]
+    fn pool_sized_at_p99() {
+        let p = pool();
+        assert_eq!(p.target_size(), p.config().p99_pool_size());
+        assert!(p.target_size() >= 3 && p.target_size() <= 10, "size = {}", p.target_size());
+        assert_eq!(p.ready(), p.target_size());
+    }
+
+    #[test]
+    fn table5_pool_sizes_grow_with_scale() {
+        // Table 5 provisions 2, 2, 3, 4 standby machines for 128→1024-machine
+        // jobs; the binomial P99 should be small and non-decreasing in scale.
+        let sizes: Vec<usize> = [128usize, 256, 512, 1024]
+            .iter()
+            .map(|&m| StandbyPoolConfig::for_job(m, 0.002).p99_pool_size())
+            .collect();
+        for pair in sizes.windows(2) {
+            assert!(pair[0] <= pair[1], "sizes = {sizes:?}");
+        }
+        assert!(sizes[0] >= 1 && sizes[3] <= 10, "sizes = {sizes:?}");
+    }
+
+    #[test]
+    fn request_within_pool_has_no_shortfall() {
+        let mut p = pool();
+        let grant = p.request(2, SimTime::ZERO);
+        assert_eq!(grant.granted, 2);
+        assert_eq!(grant.shortfall, 0);
+        assert_eq!(p.ready(), p.target_size() - 2);
+        assert_eq!(p.in_flight(), 2);
+    }
+
+    #[test]
+    fn request_beyond_pool_reports_shortfall() {
+        let mut p = pool();
+        let big = p.target_size() + 30;
+        let grant = p.request(big, SimTime::ZERO);
+        assert_eq!(grant.granted, p.target_size());
+        assert_eq!(grant.shortfall, 30);
+        assert_eq!(p.ready(), 0);
+    }
+
+    #[test]
+    fn replenishment_completes_after_provision_time() {
+        let mut p = pool();
+        let consumed = p.target_size();
+        p.request(consumed, SimTime::ZERO);
+        assert_eq!(p.ready(), 0);
+        // Before provisioning finishes nothing is ready.
+        p.tick(SimTime::ZERO + SimDuration::from_secs(60));
+        assert_eq!(p.ready(), 0);
+        // After the provisioning delay the pool is full again.
+        p.tick(SimTime::ZERO + p.provision_time());
+        assert_eq!(p.ready(), consumed);
+        assert_eq!(p.in_flight(), 0);
+    }
+
+    #[test]
+    fn successive_failures_are_covered_after_replenishment() {
+        let mut p = pool();
+        let t0 = SimTime::ZERO;
+        p.request(1, t0);
+        // A second failure one hour later is fully covered.
+        let t1 = t0 + SimDuration::from_hours(1);
+        let grant = p.request(1, t1);
+        assert_eq!(grant.shortfall, 0);
+    }
+}

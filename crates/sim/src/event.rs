@@ -1,0 +1,234 @@
+//! Future-event list for discrete-event simulation.
+//!
+//! The job-lifecycle driver in `byterobust-core` advances simulated time by
+//! popping the earliest scheduled event (a fault arrival, an inspection tick,
+//! a pending hot update, a standby replenishment completing, ...) and
+//! reacting to it. Ties are broken by insertion order so that replays are
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event scheduled to fire at a particular simulated instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotonic sequence number used to break ties deterministically.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of future events.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue starting at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event, or the
+    /// last explicit [`EventQueue::advance_to`]).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time (events cannot be
+    /// scheduled in the past).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule an event in the past ({at} < {})", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: crate::time::SimDuration, event: E) {
+        let at = self.now + delay;
+        self.schedule_at(at, event);
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let next = self.heap.pop()?;
+        debug_assert!(next.at >= self.now);
+        self.now = next.at;
+        Some(next)
+    }
+
+    /// Advances the clock to `at` without popping anything (e.g. to account
+    /// for productive training time between incidents).
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot move time backwards");
+        self.now = at;
+    }
+
+    /// Removes every pending event matching the predicate and returns them in
+    /// schedule order. Used e.g. to cancel inspections for evicted machines.
+    pub fn drain_matching<F: FnMut(&E) -> bool>(&mut self, mut pred: F) -> Vec<Scheduled<E>> {
+        let mut kept = BinaryHeap::new();
+        let mut removed = Vec::new();
+        for item in std::mem::take(&mut self.heap).into_sorted_vec() {
+            // into_sorted_vec sorts ascending by Ord, which (inverted) means
+            // latest-first; re-push either way, order is restored by the heap.
+            if pred(&item.event) {
+                removed.push(item);
+            } else {
+                kept.push(item);
+            }
+        }
+        self.heap = kept;
+        removed.sort_by(|a, b| a.at.cmp(&b.at).then(a.seq.cmp(&b.seq)));
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum TestEvent {
+        Fault(u32),
+        Tick,
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(30), TestEvent::Fault(3));
+        q.schedule_at(SimTime::from_secs(10), TestEvent::Fault(1));
+        q.schedule_at(SimTime::from_secs(20), TestEvent::Fault(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                TestEvent::Fault(i) => i,
+                TestEvent::Tick => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..10 {
+            q.schedule_at(t, TestEvent::Fault(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                TestEvent::Fault(i) => i,
+                TestEvent::Tick => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDuration::from_secs(60), TestEvent::Tick);
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop().unwrap();
+        assert_eq!(q.now(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(100), TestEvent::Tick);
+        q.pop().unwrap();
+        q.schedule_after(SimDuration::from_secs(10), TestEvent::Tick);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(110)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule an event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(100), TestEvent::Tick);
+        q.pop().unwrap();
+        q.schedule_at(SimTime::from_secs(50), TestEvent::Tick);
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut q: EventQueue<TestEvent> = EventQueue::new();
+        q.advance_to(SimTime::from_hours(3));
+        assert_eq!(q.now(), SimTime::from_hours(3));
+    }
+
+    #[test]
+    fn drain_matching_removes_only_matches() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), TestEvent::Tick);
+        q.schedule_at(SimTime::from_secs(2), TestEvent::Fault(7));
+        q.schedule_at(SimTime::from_secs(3), TestEvent::Tick);
+        let removed = q.drain_matching(|e| matches!(e, TestEvent::Tick));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().event, TestEvent::Fault(7));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q: EventQueue<TestEvent> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(SimTime::from_secs(1), TestEvent::Tick);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

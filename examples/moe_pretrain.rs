@@ -1,0 +1,55 @@
+//! The §8.1 MoE deployment scenario: a one-month 200+B mixture-of-experts
+//! pretraining job. MoE jobs carry more custom optimizations, so manual
+//! restarts, risky code updates, and rollbacks are more frequent than in the
+//! dense job — the example prints how that shows up in the ETTR and MFU.
+//!
+//! ```text
+//! cargo run --release --example moe_pretrain
+//! DAYS=3 cargo run --release --example moe_pretrain
+//! ```
+
+use byterobust::prelude::*;
+
+fn main() {
+    let days: u64 = std::env::var("DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+    let mut config = JobConfig::production_moe_one_month();
+    config.duration = SimDuration::from_days(days);
+
+    println!(
+        "MoE pretraining: {} ({} GPUs), {} simulated days, manual restarts every ~{}",
+        config.job.model.name,
+        config.job.world_size(),
+        days,
+        config.fault.manual_restart_interval
+    );
+
+    let report = JobLifecycle::new(config, 11).run();
+
+    println!("\ncumulative ETTR: {:.3}", report.ettr.cumulative_ettr());
+    println!("incidents: {}", report.incidents.len());
+
+    let manual = report
+        .incidents
+        .iter()
+        .filter(|i| i.category == FaultCategory::ManualRestart)
+        .count();
+    let rollbacks = report
+        .incidents
+        .iter()
+        .filter(|i| i.mechanism == ResolutionMechanism::Rollback)
+        .count();
+    println!("manual restarts folded into hot updates: {manual}");
+    println!("code rollbacks after bad updates: {rollbacks}");
+    println!("code versions deployed: {}", report.code_versions_deployed);
+
+    println!("\n== relative MFU trajectory (hot-update leaps, Fig. 11 view) ==");
+    let rel = report.relative_mfu_series();
+    let stride = (rel.len() / 15).max(1);
+    for point in rel.iter().step_by(stride) {
+        let bar = "#".repeat((point.value * 20.0) as usize);
+        println!("  step {:>10}  {:>5.2}x  {}", point.step, point.value, bar);
+    }
+    if let Some(last) = rel.last() {
+        println!("\nfinal MFU improvement over the initial run: {:.2}x", last.value);
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: run a small training job under ByteRobust and print what the
+//! control plane did about every incident.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use byterobust::prelude::*;
+
+fn main() {
+    // A 16-machine (128-GPU) job with an aggressive failure rate so that a
+    // couple of simulated days produce a handful of incidents.
+    let config = JobConfig::small_test();
+    println!(
+        "job: {} on {} machines ({} GPUs), simulating {} of wall-clock time",
+        config.job.model.name,
+        config.job.machines(),
+        config.job.world_size(),
+        config.duration
+    );
+
+    let report = JobLifecycle::new(config, 42).run();
+
+    println!("\nincidents handled: {}", report.incidents.len());
+    for incident in &report.incidents {
+        println!(
+            "  {:>10}  {:<24} root={:<14?} resolved-by={:<18?} evicted={} unproductive={}",
+            incident.at.to_string(),
+            incident.kind.symptom_name(),
+            incident.root_cause,
+            incident.mechanism,
+            incident.evicted_count,
+            incident.cost.total()
+        );
+    }
+
+    println!("\nfinal optimizer step reached: {}", report.final_step);
+    println!("code versions deployed via hot update: {}", report.code_versions_deployed);
+    println!("cumulative ETTR: {:.3}", report.ettr.cumulative_ettr());
+    println!("total unproductive time: {}", report.ettr.unproductive_time());
+    let (evicted, over) = report.eviction_stats();
+    println!("machines evicted: {evicted} (of which over-evicted: {over})");
+}

@@ -1,0 +1,202 @@
+//! Property-based tests over the core data structures and invariants:
+//! parallel-group topology, backup placement, dual-phase replay, binomial
+//! standby sizing, ETTR accounting and the fault injector.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use byterobust::prelude::*;
+use byterobust::recovery::binomial::{binomial_cdf, binomial_pmf};
+
+/// Strategy producing valid small 3D parallelism configurations whose world
+/// size is divisible by the GPUs-per-machine packing.
+fn parallelism_strategy() -> impl Strategy<Value = ParallelismConfig> {
+    (1usize..=4, 1usize..=4, 1usize..=8, 1usize..=3).prop_filter_map(
+        "world size must be divisible by gpus/machine and span >= 2 machines",
+        |(tp, pp, dp, gpm_exp)| {
+            let gpus_per_machine = 1 << gpm_exp; // 2, 4, 8
+            let cfg = ParallelismConfig { tp, pp, dp, ep: 1, gpus_per_machine };
+            // Peer backup needs at least two machines to be meaningful.
+            (cfg.validate().is_ok() && cfg.machines() >= 2).then_some(cfg)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every rank belongs to exactly one group of each kind, and the groups of
+    /// one kind tile the whole world.
+    #[test]
+    fn parallel_groups_partition_the_world(cfg in parallelism_strategy()) {
+        let topo = ParallelTopology::new(cfg);
+        for kind in GroupKind::DENSE {
+            let groups = topo.all_groups(kind);
+            let mut seen = vec![0u32; cfg.world_size()];
+            for group in &groups {
+                prop_assert_eq!(group.size(), topo.group_size(kind));
+                for rank in &group.ranks {
+                    seen[rank.index()] += 1;
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1));
+        }
+    }
+
+    /// Rank coordinates round-trip through the mapping.
+    #[test]
+    fn rank_coords_roundtrip(cfg in parallelism_strategy()) {
+        let mapping = RankMapping::new(cfg);
+        for rank in mapping.all_ranks() {
+            prop_assert_eq!(mapping.rank_at(mapping.coords(rank)), rank);
+        }
+    }
+
+    /// For genuinely multi-dimensional configurations, backup peers never
+    /// share any TP/PP/DP group with their source, the relation is a
+    /// permutation, and single-group over-eviction never loses both copies.
+    #[test]
+    fn backup_assignment_invariants(cfg in parallelism_strategy()) {
+        let topo = ParallelTopology::new(cfg);
+        let assignment = BackupAssignment::compute(&topo);
+        let mut targets = HashSet::new();
+        for rank in topo.mapping().all_ranks() {
+            let peer = assignment.backup_peer(rank);
+            prop_assert_ne!(rank, peer);
+            targets.insert(peer);
+            if cfg.is_multi_dimensional() {
+                prop_assert!(!topo.share_any_group(rank, peer));
+            } else {
+                prop_assert_ne!(topo.mapping().machine_of(rank), topo.mapping().machine_of(peer));
+            }
+        }
+        prop_assert_eq!(targets.len(), cfg.world_size());
+        // Group-eviction survivability is the paper's 3D-parallel setting
+        // (TP, PP and DP all non-trivial, as in Table 5), with the usual
+        // machine alignment: each machine hosts whole tensor-parallel groups
+        // (tp divides gpus_per_machine) and never straddles a pipeline-stage
+        // boundary (gpus_per_machine divides tp*dp). Every layout in the
+        // paper (Table 5, Figs. 7/9) satisfies both. Outside that regime a
+        // machine can host ranks whose peers land inside the evicted group's
+        // machines, so the machine-granular guarantee does not apply.
+        if cfg.tp > 1
+            && cfg.pp > 1
+            && cfg.dp > 1
+            && cfg.gpus_per_machine % cfg.tp == 0
+            && (cfg.tp * cfg.dp) % cfg.gpus_per_machine == 0
+        {
+            for kind in GroupKind::DENSE {
+                for group in topo.all_groups(kind) {
+                    let machines = topo.machines_of_group(&group);
+                    // If a group happens to span every machine (tiny
+                    // degenerate configs) there is nowhere left to hold
+                    // backups and the property is vacuous.
+                    if machines.len() < topo.mapping().machine_count() {
+                        prop_assert!(assignment.survives_eviction(&topo, &machines));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dual-phase replay always includes the true culprit in its suspect set
+    /// and never returns more suspects than Algorithm 1's cardinality bound.
+    #[test]
+    fn dual_phase_replay_isolates_culprit(
+        machines in 8usize..=96,
+        group_size in 2usize..=8,
+        culprit_seed in any::<u64>(),
+    ) {
+        let z = (machines / group_size) * group_size;
+        prop_assume!(z >= group_size * 2);
+        let ids: Vec<MachineId> = (0..z as u32).map(MachineId).collect();
+        let culprit = MachineId((culprit_seed % z as u64) as u32);
+        let faulty: HashSet<MachineId> = [culprit].into_iter().collect();
+        let replay = DualPhaseReplay::new(ReplayConfig::new(group_size));
+        let outcome = replay.locate_with_ground_truth(&ids, &faulty);
+        prop_assert!(outcome.suspects.contains(&culprit));
+        prop_assert!(outcome.suspects.len() <= replay.expected_suspect_count(z).max(group_size));
+    }
+
+    /// The binomial helpers behave like a probability distribution and the
+    /// quantile is monotone, so the warm-standby P99 sizing is well defined.
+    #[test]
+    fn binomial_distribution_sanity(n in 1u64..600, p in 0.0f64..0.2) {
+        let total: f64 = (0..=n).map(|k| binomial_pmf(n, p, k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        prop_assert!(binomial_cdf(n, p, n) > 1.0 - 1e-6);
+        let q90 = binomial_quantile(n, p, 0.90);
+        let q99 = binomial_quantile(n, p, 0.99);
+        prop_assert!(q90 <= q99);
+        prop_assert!(q99 <= n);
+    }
+
+    /// ETTR is always in [0, 1], and adding unproductive time never increases
+    /// it.
+    #[test]
+    fn ettr_is_bounded_and_monotone(
+        segments in prop::collection::vec((1u64..5_000, any::<bool>()), 1..60)
+    ) {
+        let mut tracker = EttrTracker::new();
+        let mut previous = 1.0f64;
+        for (secs, productive) in segments {
+            let duration = SimDuration::from_secs(secs);
+            if productive {
+                tracker.record_productive(duration);
+            } else {
+                tracker.record_unproductive(duration);
+                prop_assert!(tracker.cumulative_ettr() <= previous + 1e-12);
+            }
+            let ettr = tracker.cumulative_ettr();
+            prop_assert!((0.0..=1.0).contains(&ettr));
+            previous = ettr;
+        }
+        prop_assert_eq!(
+            tracker.total_time(),
+            tracker.productive_time() + tracker.unproductive_time()
+        );
+    }
+
+    /// The fault injector produces time-ordered events whose culprits are
+    /// always valid machine indices, and user-code faults never blame
+    /// machines.
+    #[test]
+    fn fault_injector_events_are_well_formed(seed in any::<u64>(), machines in 4usize..200) {
+        let config = FaultInjectorConfig {
+            machines,
+            gpus_per_machine: 8,
+            ..FaultInjectorConfig::default()
+        };
+        let mut injector = FaultInjector::new(config, SimRng::new(seed));
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            let event = injector.next_event(now);
+            prop_assert!(event.at >= now);
+            now = event.at;
+            for culprit in &event.culprits {
+                prop_assert!(culprit.index() < machines);
+            }
+            if event.root_cause == RootCause::UserCode || event.root_cause == RootCause::Human {
+                prop_assert!(event.culprits.is_empty());
+            }
+        }
+    }
+
+    /// Stack aggregation never flags outliers on a healthy capture, and always
+    /// places the hang victim's ranks among the outliers on a hung capture.
+    #[test]
+    fn aggregation_flags_exactly_the_anomalous_side(victim_index in 0u32..16) {
+        let mut runtime = TrainingRuntime::new(JobSpec::small_test());
+        let healthy = AggregationResult::aggregate(&runtime.capture_stacks());
+        prop_assert!(!healthy.has_outliers());
+        let victim = MachineId(victim_index);
+        runtime.inject_hang(vec![victim]);
+        let hung = AggregationResult::aggregate(&runtime.capture_stacks());
+        prop_assert!(hung.has_outliers());
+        let outliers = hung.outlier_ranks();
+        for rank in runtime.topology().mapping().ranks_on_machine(victim) {
+            prop_assert!(outliers.contains(&rank));
+        }
+    }
+}
