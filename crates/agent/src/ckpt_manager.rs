@@ -4,10 +4,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use byterobust_checkpoint::{CheckpointEngine, CheckpointPlan, CheckpointStore, RecoveryPoint};
 use byterobust_cluster::MachineId;
-use byterobust_checkpoint::{
-    CheckpointEngine, CheckpointPlan, CheckpointStore, RecoveryPoint,
-};
 use byterobust_sim::SimDuration;
 use byterobust_trainsim::{JobSpec, StepBreakdown};
 
@@ -138,7 +136,8 @@ mod tests {
 
     fn job_and_step() -> (JobSpec, StepBreakdown) {
         let job = JobSpec::small_test();
-        let step = StepModel::new(job.clone()).step(&CodeVersion::initial(), 1.0, SimDuration::ZERO);
+        let step =
+            StepModel::new(job.clone()).step(&CodeVersion::initial(), 1.0, SimDuration::ZERO);
         (job, step)
     }
 
@@ -147,7 +146,8 @@ mod tests {
         // Use a production-scale job: the <1% overhead claim of Table 8 is
         // about multi-second steps, not the tiny test model.
         let job = JobSpec::table5_70b_small();
-        let step = StepModel::new(job.clone()).step(&CodeVersion::initial(), 1.0, SimDuration::ZERO);
+        let step =
+            StepModel::new(job.clone()).step(&CodeVersion::initial(), 1.0, SimDuration::ZERO);
         let mut mgr = CkptManager::byterobust_default(&job);
         let mut total = SimDuration::ZERO;
         for s in 1..=20u64 {

@@ -88,7 +88,10 @@ impl Diagnoser {
     /// Creates a diagnoser with its own RNG stream (SDC detection is
     /// probabilistic).
     pub fn new(rng: SimRng) -> Self {
-        Diagnoser { config: DiagnoserConfig::default(), rng }
+        Diagnoser {
+            config: DiagnoserConfig::default(),
+            rng,
+        }
     }
 
     /// Creates a diagnoser with custom timing/accuracy parameters.
@@ -103,7 +106,8 @@ impl Diagnoser {
         for &id in machines {
             let machine = cluster.machine(id);
             let hard_fault = machine.gpus.iter().any(|g| !g.is_usable());
-            let sdc_caught = machine.has_sdc_prone_gpu() && self.rng.chance(self.config.eud_sdc_recall);
+            let sdc_caught =
+                machine.has_sdc_prone_gpu() && self.rng.chance(self.config.eud_sdc_recall);
             if hard_fault || sdc_caught {
                 suspects.push(id);
             }
@@ -119,7 +123,9 @@ impl Diagnoser {
             .copied()
             .filter(|&id| {
                 let m = cluster.machine(id);
-                m.gpus.iter().any(|g| !g.is_usable() || g.pcie_bandwidth_frac < 0.5)
+                m.gpus
+                    .iter()
+                    .any(|g| !g.is_usable() || g.pcie_bandwidth_frac < 0.5)
             })
             .collect()
     }
@@ -203,7 +209,11 @@ impl Diagnoser {
         } else {
             DiagnosisConclusion::FaultyMachines
         };
-        DiagnosisOutcome { conclusion, suspects, duration }
+        DiagnosisOutcome {
+            conclusion,
+            suspects,
+            duration,
+        }
     }
 }
 
@@ -275,8 +285,12 @@ mod tests {
     fn user_code_errors_short_circuit_to_rollback() {
         let cluster = cluster();
         let mut d = Diagnoser::new(SimRng::new(4));
-        let outcome =
-            d.diagnose(&cluster, &all_active(&cluster), FaultKind::CudaError, LogClass::UserCode);
+        let outcome = d.diagnose(
+            &cluster,
+            &all_active(&cluster),
+            FaultKind::CudaError,
+            LogClass::UserCode,
+        );
         assert_eq!(outcome.conclusion, DiagnosisConclusion::UserCodeSuspected);
         assert!(outcome.duration < SimDuration::from_mins(1));
     }
@@ -324,13 +338,19 @@ mod tests {
                 break;
             }
         }
-        assert!(escaped, "SDC should occasionally evade the stop-time checks");
+        assert!(
+            escaped,
+            "SDC should occasionally evade the stop-time checks"
+        );
     }
 
     #[test]
     fn degraded_pcie_caught_by_intra_nccl() {
         let mut cluster = cluster();
-        cluster.machine_mut(MachineId(2)).gpu_mut(5).pcie_bandwidth_frac = 0.3;
+        cluster
+            .machine_mut(MachineId(2))
+            .gpu_mut(5)
+            .pcie_bandwidth_frac = 0.3;
         let mut d = Diagnoser::new(SimRng::new(9));
         let suspects = d.run_intra_nccl(&cluster, &all_active(&cluster));
         assert_eq!(suspects, vec![MachineId(2)]);

@@ -23,7 +23,7 @@ pub mod stress;
 pub mod tracer;
 
 pub use ckpt_manager::CkptManager;
-pub use diagnoser::{DiagnoserConfig, Diagnoser, DiagnosisConclusion, DiagnosisOutcome};
+pub use diagnoser::{Diagnoser, DiagnoserConfig, DiagnosisConclusion, DiagnosisOutcome};
 pub use monitor::{InspectionCategory, InspectionFinding, Monitor, MonitorConfig};
 pub use robust_agent::{AgentState, RobustAgent};
 pub use stress::SelectiveStressTester;
@@ -32,7 +32,7 @@ pub use tracer::OnDemandTracer;
 /// Convenience prelude for downstream crates.
 pub mod prelude {
     pub use crate::ckpt_manager::CkptManager;
-    pub use crate::diagnoser::{DiagnoserConfig, Diagnoser, DiagnosisConclusion, DiagnosisOutcome};
+    pub use crate::diagnoser::{Diagnoser, DiagnoserConfig, DiagnosisConclusion, DiagnosisOutcome};
     pub use crate::monitor::{InspectionCategory, InspectionFinding, Monitor, MonitorConfig};
     pub use crate::robust_agent::{AgentState, RobustAgent};
     pub use crate::stress::SelectiveStressTester;

@@ -124,10 +124,13 @@ impl Monitor {
     /// collection of §4.1).
     pub fn record_step_metrics(&mut self, at: SimTime, metrics: &StepMetrics) {
         self.metrics.record(MetricKind::Loss, at, metrics.loss);
-        self.metrics.record(MetricKind::GradNorm, at, metrics.grad_norm);
+        self.metrics
+            .record(MetricKind::GradNorm, at, metrics.grad_norm);
         self.metrics.record(MetricKind::Mfu, at, metrics.mfu);
-        self.metrics.record(MetricKind::RdmaTraffic, at, metrics.rdma_traffic);
-        self.metrics.record(MetricKind::TensorCoreUtil, at, metrics.tensorcore_util);
+        self.metrics
+            .record(MetricKind::RdmaTraffic, at, metrics.rdma_traffic);
+        self.metrics
+            .record(MetricKind::TensorCoreUtil, at, metrics.tensorcore_util);
     }
 
     /// Applies the anomaly rules to the collected metrics at time `now`.
@@ -141,7 +144,11 @@ impl Monitor {
         for machine in machines {
             let report = HealthReport::inspect(machine);
             for issue in report.issues {
-                findings.push(InspectionFinding { machine: machine.id, issue, at: now });
+                findings.push(InspectionFinding {
+                    machine: machine.id,
+                    issue,
+                    at: now,
+                });
             }
         }
         findings
@@ -192,7 +199,9 @@ impl Monitor {
     /// Detection latency for a network switch failure (requires two
     /// consecutive unresponsive events, §8.1.1).
     pub fn switch_down_detection_time(&self) -> SimDuration {
-        self.config.network_interval.mul(self.config.switch_alerts_required as u64)
+        self.config
+            .network_interval
+            .mul(self.config.switch_alerts_required as u64)
     }
 }
 
@@ -205,7 +214,7 @@ impl Default for Monitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use byterobust_cluster::{ClusterSpec, Cluster, NicState};
+    use byterobust_cluster::{Cluster, ClusterSpec, NicState};
     use byterobust_sim::SimTime;
 
     #[test]
@@ -223,7 +232,10 @@ mod tests {
             monitor.detection_time_with_inspection(FaultKind::OsKernelPanic),
             SimDuration::from_secs(2)
         );
-        assert_eq!(monitor.switch_down_detection_time(), SimDuration::from_secs(60));
+        assert_eq!(
+            monitor.switch_down_detection_time(),
+            SimDuration::from_secs(60)
+        );
     }
 
     #[test]
@@ -247,7 +259,13 @@ mod tests {
         let affected: Vec<MachineId> = findings.iter().map(|f| f.machine).collect();
         assert!(affected.contains(&MachineId(3)));
         assert!(affected.contains(&MachineId(6)));
-        assert_eq!(findings.iter().filter(|f| f.issue == HealthIssue::GpuLost).count(), 1);
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.issue == HealthIssue::GpuLost)
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -276,7 +294,9 @@ mod tests {
                 },
             );
         }
-        assert!(monitor.check_anomalies(SimTime::from_secs(30 * 30)).is_empty());
+        assert!(monitor
+            .check_anomalies(SimTime::from_secs(30 * 30))
+            .is_empty());
         // A NaN loss shows up immediately.
         monitor.record_step_metrics(
             SimTime::from_secs(31 * 30),
@@ -296,10 +316,22 @@ mod tests {
 
     #[test]
     fn category_mapping() {
-        assert_eq!(InspectionCategory::of(HealthIssue::NicDown), InspectionCategory::Network);
-        assert_eq!(InspectionCategory::of(HealthIssue::GpuHighTemperature), InspectionCategory::Gpu);
-        assert_eq!(InspectionCategory::of(HealthIssue::KernelPanic), InspectionCategory::Host);
+        assert_eq!(
+            InspectionCategory::of(HealthIssue::NicDown),
+            InspectionCategory::Network
+        );
+        assert_eq!(
+            InspectionCategory::of(HealthIssue::GpuHighTemperature),
+            InspectionCategory::Gpu
+        );
+        assert_eq!(
+            InspectionCategory::of(HealthIssue::KernelPanic),
+            InspectionCategory::Host
+        );
         let cfg = MonitorConfig::default();
-        assert_eq!(cfg.interval(InspectionCategory::Gpu), SimDuration::from_secs(10));
+        assert_eq!(
+            cfg.interval(InspectionCategory::Gpu),
+            SimDuration::from_secs(10)
+        );
     }
 }

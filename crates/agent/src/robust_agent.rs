@@ -50,7 +50,10 @@ impl RobustAgent {
     /// Creates an agent for a warm-standby machine (parked at the barrier,
     /// §7).
     pub fn for_standby(machine: MachineId) -> Self {
-        RobustAgent { state: AgentState::StandbyPolling, ..Self::for_training(machine) }
+        RobustAgent {
+            state: AgentState::StandbyPolling,
+            ..Self::for_training(machine)
+        }
     }
 
     /// Whether the agent should send a heartbeat at time `now`.
@@ -103,7 +106,7 @@ impl RobustAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use byterobust_cluster::{ClusterSpec, Cluster};
+    use byterobust_cluster::{Cluster, ClusterSpec};
 
     #[test]
     fn heartbeat_schedule() {

@@ -44,8 +44,13 @@ impl SelectiveStressTester {
             GpuUnavailable => Some(SimDuration::from_secs(120)),
             CodeDataAdjustment => None,
             // Other symptoms: assume a generic machine stress sweep.
-            CpuOverload | CpuOom | InsufficientDiskSpace | FilesystemMount | ContainerError
-            | ExternalServiceError | DiskFault => Some(SimDuration::from_secs(400)),
+            CpuOverload
+            | CpuOom
+            | InsufficientDiskSpace
+            | FilesystemMount
+            | ContainerError
+            | ExternalServiceError
+            | DiskFault => Some(SimDuration::from_secs(400)),
             JobHang => Some(SimDuration::from_secs(1_800)),
             MfuDecline => Some(SimDuration::from_secs(3_600)),
         }
@@ -80,15 +85,28 @@ mod tests {
     #[test]
     fn human_mistakes_are_unresolvable_by_stress_testing() {
         let t = SelectiveStressTester::new();
-        assert_eq!(t.resolution_time(FaultKind::CudaError, RootCause::UserCode), None);
-        assert_eq!(t.resolution_time(FaultKind::CodeDataAdjustment, RootCause::Human), None);
-        assert_eq!(t.resolution_time(FaultKind::HdfsError, RootCause::Infrastructure), None);
+        assert_eq!(
+            t.resolution_time(FaultKind::CudaError, RootCause::UserCode),
+            None
+        );
+        assert_eq!(
+            t.resolution_time(FaultKind::CodeDataAdjustment, RootCause::Human),
+            None
+        );
+        assert_eq!(
+            t.resolution_time(FaultKind::HdfsError, RootCause::Infrastructure),
+            None
+        );
     }
 
     #[test]
     fn infrastructure_symptoms_have_finite_times() {
         let t = SelectiveStressTester::new();
-        for kind in [FaultKind::JobHang, FaultKind::MfuDecline, FaultKind::DiskFault] {
+        for kind in [
+            FaultKind::JobHang,
+            FaultKind::MfuDecline,
+            FaultKind::DiskFault,
+        ] {
             assert!(t.resolution_time(kind, RootCause::Infrastructure).is_some());
         }
     }

@@ -22,7 +22,10 @@ pub struct OnDemandTracer {
 
 impl Default for OnDemandTracer {
     fn default() -> Self {
-        OnDemandTracer { capture_latency: SimDuration::from_secs(25), captures_taken: 0 }
+        OnDemandTracer {
+            capture_latency: SimDuration::from_secs(25),
+            captures_taken: 0,
+        }
     }
 }
 

@@ -71,16 +71,32 @@ impl AggregationResult {
                     "CheckpointWorker" => ProcessKind::CheckpointWorker,
                     _ => ProcessKind::RobustDaemon,
                 };
-                StackCluster { process, fingerprint, ranks }
+                StackCluster {
+                    process,
+                    fingerprint,
+                    ranks,
+                }
             })
             .collect();
-        clusters.sort_by(|a, b| b.size().cmp(&a.size()).then(a.fingerprint.cmp(&b.fingerprint)));
-        AggregationResult { clusters, dominance_ratio }
+        clusters.sort_by(|a, b| {
+            b.size()
+                .cmp(&a.size())
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        AggregationResult {
+            clusters,
+            dominance_ratio,
+        }
     }
 
     /// Size of the largest cluster of a given process kind.
     fn max_size_for(&self, process: ProcessKind) -> usize {
-        self.clusters.iter().filter(|c| c.process == process).map(StackCluster::size).max().unwrap_or(0)
+        self.clusters
+            .iter()
+            .filter(|c| c.process == process)
+            .map(StackCluster::size)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether a cluster is dominant (healthy) relative to the largest cluster
@@ -92,18 +108,27 @@ impl AggregationResult {
 
     /// Clusters deemed healthy.
     pub fn dominant_clusters(&self) -> Vec<&StackCluster> {
-        self.clusters.iter().filter(|c| self.is_dominant(c)).collect()
+        self.clusters
+            .iter()
+            .filter(|c| self.is_dominant(c))
+            .collect()
     }
 
     /// Clusters deemed outliers.
     pub fn outlier_clusters(&self) -> Vec<&StackCluster> {
-        self.clusters.iter().filter(|c| !self.is_dominant(c)).collect()
+        self.clusters
+            .iter()
+            .filter(|c| !self.is_dominant(c))
+            .collect()
     }
 
     /// Distinct ranks appearing in any outlier cluster, ascending.
     pub fn outlier_ranks(&self) -> Vec<Rank> {
-        let mut ranks: Vec<Rank> =
-            self.outlier_clusters().iter().flat_map(|c| c.ranks.iter().copied()).collect();
+        let mut ranks: Vec<Rank> = self
+            .outlier_clusters()
+            .iter()
+            .flat_map(|c| c.ranks.iter().copied())
+            .collect();
         ranks.sort();
         ranks.dedup();
         ranks
@@ -118,8 +143,8 @@ impl AggregationResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use byterobust_trainsim::{JobSpec, TrainingRuntime};
     use byterobust_cluster::MachineId;
+    use byterobust_trainsim::{JobSpec, TrainingRuntime};
 
     #[test]
     fn healthy_job_has_no_outliers() {
@@ -158,11 +183,18 @@ mod tests {
         let mut rt = TrainingRuntime::new(job);
         rt.inject_hang(vec![MachineId(15)]);
         let result = AggregationResult::aggregate(&rt.capture_stacks());
-        let trainer_clusters: Vec<&StackCluster> =
-            result.clusters.iter().filter(|c| c.process == ProcessKind::Trainer).collect();
+        let trainer_clusters: Vec<&StackCluster> = result
+            .clusters
+            .iter()
+            .filter(|c| c.process == ProcessKind::Trainer)
+            .collect();
         // Expect: one dominant grad-sync cluster, one backward (victim)
         // cluster, and pipeline-comm clusters (isend + irecv).
-        assert!(trainer_clusters.len() >= 3, "got {} clusters", trainer_clusters.len());
+        assert!(
+            trainer_clusters.len() >= 3,
+            "got {} clusters",
+            trainer_clusters.len()
+        );
         let dominant = &trainer_clusters[0];
         assert!(dominant.fingerprint.contains("start_grad_sync"));
         assert!(result.is_dominant(dominant));
@@ -172,7 +204,9 @@ mod tests {
             .filter(|c| c.process == ProcessKind::Trainer)
             .map(|c| c.fingerprint.as_str())
             .collect();
-        assert!(outlier_fps.iter().any(|f| f.contains("all_gather_into_tensor")));
+        assert!(outlier_fps
+            .iter()
+            .any(|f| f.contains("all_gather_into_tensor")));
         assert!(outlier_fps
             .iter()
             .any(|f| f.contains("isend") || f.contains("irecv")));

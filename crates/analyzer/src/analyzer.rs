@@ -109,7 +109,11 @@ impl RuntimeAnalyzer {
         let duration = self.config.capture_latency
             + voter.round_interval.mul(round_captures.len() as u64)
             + self.config.aggregation_latency;
-        AnalysisOutcome { aggregation: last_aggregation, decision, duration }
+        AnalysisOutcome {
+            aggregation: last_aggregation,
+            decision,
+            duration,
+        }
     }
 }
 
@@ -127,7 +131,10 @@ mod tests {
         let analyzer = RuntimeAnalyzer::new();
         let outcome = analyzer.analyze_hang(rt.topology(), &rt.capture_stacks());
         assert!(!outcome.decision.is_empty());
-        assert!(outcome.decision.machines.contains(&victim), "victim must be in the eviction set");
+        assert!(
+            outcome.decision.machines.contains(&victim),
+            "victim must be in the eviction set"
+        );
         assert!(outcome.duration >= SimDuration::from_secs(30));
         // Over-eviction stays bounded: far fewer machines than the job.
         assert!(outcome.decision.machines.len() <= rt.job().machines() / 2);

@@ -91,18 +91,16 @@ impl FailSlowVoter {
     /// cumulative flag count, expressed as an eviction decision. Returns an
     /// empty decision if no group was ever flagged.
     pub fn verdict(&self, topology: &ParallelTopology) -> EvictionDecision {
-        let Some((&(kind, index), _)) =
-            self.flags.iter().max_by_key(|(&(kind, idx), &count)| {
-                // Deterministic tie-break: count, then kind order, then index.
-                let kind_order = match kind {
-                    GroupKind::Tensor => 0,
-                    GroupKind::Pipeline => 1,
-                    GroupKind::Data => 2,
-                    GroupKind::Expert => 3,
-                };
-                (count, std::cmp::Reverse(kind_order), std::cmp::Reverse(idx))
-            })
-        else {
+        let Some((&(kind, index), _)) = self.flags.iter().max_by_key(|(&(kind, idx), &count)| {
+            // Deterministic tie-break: count, then kind order, then index.
+            let kind_order = match kind {
+                GroupKind::Tensor => 0,
+                GroupKind::Pipeline => 1,
+                GroupKind::Data => 2,
+                GroupKind::Expert => 3,
+            };
+            (count, std::cmp::Reverse(kind_order), std::cmp::Reverse(idx))
+        }) else {
             return EvictionDecision::none();
         };
         // Find a representative rank of that group to materialize it.

@@ -23,7 +23,11 @@ pub struct ProcessNode {
 
 impl ProcessNode {
     fn leaf(kind: ProcessKind) -> Self {
-        ProcessNode { kind, command: kind.command().to_string(), children: Vec::new() }
+        ProcessNode {
+            kind,
+            command: kind.command().to_string(),
+            children: Vec::new(),
+        }
     }
 
     /// Total number of nodes in this subtree (including self).
@@ -63,7 +67,11 @@ impl ProcessTree {
     /// The process kinds whose stacks participate in aggregation analysis:
     /// everything training-related, excluding the robust daemon.
     pub fn training_related_kinds() -> [ProcessKind; 3] {
-        [ProcessKind::Trainer, ProcessKind::DataLoader, ProcessKind::CheckpointWorker]
+        [
+            ProcessKind::Trainer,
+            ProcessKind::DataLoader,
+            ProcessKind::CheckpointWorker,
+        ]
     }
 
     /// Whether a process kind is training-related (participates in
@@ -74,7 +82,10 @@ impl ProcessTree {
 
     /// Filters a set of captured stacks down to the training-related ones.
     pub fn filter_training_stacks(stacks: &[StackTrace]) -> Vec<&StackTrace> {
-        stacks.iter().filter(|s| Self::is_training_related(s.process)).collect()
+        stacks
+            .iter()
+            .filter(|s| Self::is_training_related(s.process))
+            .collect()
     }
 
     /// Total number of processes in the canonical tree.
@@ -101,7 +112,9 @@ mod tests {
     fn daemon_excluded_from_training_related() {
         assert!(ProcessTree::is_training_related(ProcessKind::Trainer));
         assert!(ProcessTree::is_training_related(ProcessKind::DataLoader));
-        assert!(ProcessTree::is_training_related(ProcessKind::CheckpointWorker));
+        assert!(ProcessTree::is_training_related(
+            ProcessKind::CheckpointWorker
+        ));
         assert!(!ProcessTree::is_training_related(ProcessKind::RobustDaemon));
     }
 
@@ -116,6 +129,8 @@ mod tests {
         ];
         let filtered = ProcessTree::filter_training_stacks(&stacks);
         assert_eq!(filtered.len(), 3);
-        assert!(filtered.iter().all(|s| s.process != ProcessKind::RobustDaemon));
+        assert!(filtered
+            .iter()
+            .all(|s| s.process != ProcessKind::RobustDaemon));
     }
 }

@@ -8,5 +8,8 @@ fn main() {
     }
     let (dense, moe) = byterobust_bench::experiments::production_reports();
     let _ = &moe;
-    println!("{}", byterobust_bench::experiments::fig3_unproductive(&dense));
+    println!(
+        "{}",
+        byterobust_bench::experiments::fig3_unproductive(&dense)
+    );
 }

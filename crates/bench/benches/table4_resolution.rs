@@ -8,5 +8,8 @@ fn main() {
     }
     let (dense, moe) = byterobust_bench::experiments::production_reports();
     let _ = &moe;
-    println!("{}", byterobust_bench::experiments::table4_resolution(&dense, &moe));
+    println!(
+        "{}",
+        byterobust_bench::experiments::table4_resolution(&dense, &moe)
+    );
 }

@@ -10,7 +10,8 @@ fn checkpoint_table(c: &mut Criterion) {
         use byterobust_sim::SimDuration;
         use byterobust_trainsim::{CodeVersion, JobSpec, StepModel};
         let job = JobSpec::table5_70b_small();
-        let step = StepModel::new(job.clone()).step(&CodeVersion::initial(), 1.0, SimDuration::ZERO);
+        let step =
+            StepModel::new(job.clone()).step(&CodeVersion::initial(), 1.0, SimDuration::ZERO);
         let engine = CheckpointEngine::new(CheckpointApproach::ByteRobustSave, &job);
         b.iter(|| std::hint::black_box(engine.save(&step)))
     });

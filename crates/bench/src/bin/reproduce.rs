@@ -9,7 +9,11 @@ use byterobust_bench::experiments;
 
 fn main() {
     println!("ByteRobust reproduction — regenerating all tables and figures");
-    println!("(seed = {}, fast mode = {})\n", experiments::SEED, byterobust_bench::fast_mode());
+    println!(
+        "(seed = {}, fast mode = {})\n",
+        experiments::SEED,
+        byterobust_bench::fast_mode()
+    );
 
     // Cheap, closed-form experiments first.
     println!("{}", experiments::table1_incidents());

@@ -21,8 +21,8 @@ use byterobust_recovery::{
 use byterobust_sim::{SimDuration, SimRng, SimTime};
 use byterobust_trainsim::{CodeVersion, JobSpec, StepModel, TrainingRuntime};
 
-use crate::table::{fmt_pct, fmt_secs, Table};
 use crate::fast_mode;
+use crate::table::{fmt_pct, fmt_secs, Table};
 
 /// Deterministic seed shared by all experiments.
 pub const SEED: u64 = 20250916;
@@ -67,7 +67,13 @@ pub fn table1_incidents() -> String {
 
     let mut table = Table::new(
         "Table 1: distribution of training incidents (simulated production mix)",
-        &["Category", "Incident Symptom", "Count", "Percentage", "Paper %"],
+        &[
+            "Category",
+            "Incident Symptom",
+            "Count",
+            "Percentage",
+            "Paper %",
+        ],
     );
     for kind in FaultKind::ALL {
         let count = counts.get(&kind).copied().unwrap_or(0);
@@ -89,7 +95,11 @@ pub fn table1_incidents() -> String {
         "Table 2: root cause of incidents (symptoms with tangled causes)",
         &["Symptom", "#Infrastructure", "#User Code", "#Total"],
     );
-    for kind in [FaultKind::JobHang, FaultKind::GpuMemoryError, FaultKind::NanValue] {
+    for kind in [
+        FaultKind::JobHang,
+        FaultKind::GpuMemoryError,
+        FaultKind::NanValue,
+    ] {
         let (infra, user) = root_causes.get(&kind).copied().unwrap_or((0, 0));
         table2.row(&[
             kind.symptom_name().to_string(),
@@ -124,8 +134,11 @@ pub fn fig2_loss_mfu() -> String {
     );
     let rel_mfu = report.relative_mfu_series();
     let max_step = report.final_step.max(1) as f64;
-    let max_loss =
-        report.loss_series.iter().map(|p| p.value).fold(f64::NEG_INFINITY, f64::max);
+    let max_loss = report
+        .loss_series
+        .iter()
+        .map(|p| p.value)
+        .fold(f64::NEG_INFINITY, f64::max);
     for (loss, mfu) in report.loss_series.iter().zip(rel_mfu.iter()).step_by(4) {
         table.row(&[
             format!("{:.3}", loss.step as f64 / max_step),
@@ -161,49 +174,76 @@ pub fn table3_detection() -> String {
     let monitor = Monitor::new();
     let mut table = Table::new(
         "Table 3: time to detect infrastructure failures (seconds)",
-        &["Category", "Root Cause", "w/ Inspection (s)", "w/o Inspection"],
+        &[
+            "Category",
+            "Root Cause",
+            "w/ Inspection (s)",
+            "w/o Inspection",
+        ],
     );
     let rows: Vec<(&str, &str, f64, String)> = vec![
         (
             "Network",
             "NIC crash",
-            monitor.detection_time_with_inspection(FaultKind::InfinibandError).as_secs_f64(),
+            monitor
+                .detection_time_with_inspection(FaultKind::InfinibandError)
+                .as_secs_f64(),
             "T_timeout".to_string(),
         ),
         (
             "Network",
             "Port Flapping",
-            monitor.detection_time_with_inspection(FaultKind::InfinibandError).as_secs_f64(),
+            monitor
+                .detection_time_with_inspection(FaultKind::InfinibandError)
+                .as_secs_f64(),
             "T_timeout".to_string(),
         ),
-        ("Network", "Switch Down", monitor.switch_down_detection_time().as_secs_f64(), "2*T_timeout".to_string()),
+        (
+            "Network",
+            "Switch Down",
+            monitor.switch_down_detection_time().as_secs_f64(),
+            "2*T_timeout".to_string(),
+        ),
         (
             "GPU",
             "Driver Hang",
-            monitor.detection_time_with_inspection(FaultKind::GpuUnavailable).as_secs_f64(),
+            monitor
+                .detection_time_with_inspection(FaultKind::GpuUnavailable)
+                .as_secs_f64(),
             "T_timeout".to_string(),
         ),
         (
             "GPU",
             "High Temperature",
-            monitor.detection_time_with_inspection(FaultKind::GpuUnavailable).as_secs_f64(),
+            monitor
+                .detection_time_with_inspection(FaultKind::GpuUnavailable)
+                .as_secs_f64(),
             "T_monitor".to_string(),
         ),
         (
             "GPU",
             "GPU Lost",
-            monitor.detection_time_with_inspection(FaultKind::GpuUnavailable).as_secs_f64(),
+            monitor
+                .detection_time_with_inspection(FaultKind::GpuUnavailable)
+                .as_secs_f64(),
             "T_timeout".to_string(),
         ),
         (
             "Host",
             "OS Kernel Fault",
-            monitor.detection_time_with_inspection(FaultKind::OsKernelPanic).as_secs_f64(),
+            monitor
+                .detection_time_with_inspection(FaultKind::OsKernelPanic)
+                .as_secs_f64(),
             "T_timeout".to_string(),
         ),
     ];
     for (category, cause, with, without) in rows {
-        table.row(&[category.to_string(), cause.to_string(), fmt_secs(with), without]);
+        table.row(&[
+            category.to_string(),
+            cause.to_string(),
+            fmt_secs(with),
+            without,
+        ]);
     }
     let timeout = monitor.detection_time_without_inspection(FaultKind::GpuUnavailable);
     format!(
@@ -215,15 +255,18 @@ pub fn table3_detection() -> String {
 }
 
 /// Table 4: distribution of resolved incidents across mechanisms for the two
-/// production jobs, plus the §4.2 "lesson" mechanism shares.
+/// production jobs, plus the §4.2 "lesson" mechanism shares and the severity
+/// distribution. Every aggregate is an incident-store query — the table never
+/// touches the raw incident records.
 pub fn table4_resolution(dense: &JobReport, moe: &JobReport) -> String {
     let mut table = Table::new(
         "Table 4: incidents resolved per mechanism (count, share of job's incidents)",
         &["Job", "Mechanism", "Explicit", "Implicit", "Manual Restart"],
     );
     for (name, report) in [("Dense", dense), ("MoE", moe)] {
-        let counts = report.resolution_counts();
-        let total = report.incidents.len().max(1);
+        let store = &report.incident_store;
+        let counts = store.resolution_counts();
+        let total = store.len().max(1);
         for mechanism in ["AutoFT-ER", "AutoFT-HU", "Analyzer-ER", "Rollback"] {
             let cell = |category: &str| -> String {
                 match counts.get(&(mechanism, category)) {
@@ -247,10 +290,29 @@ pub fn table4_resolution(dense: &JobReport, moe: &JobReport) -> String {
         "Lesson (Sec. 4.2): share of incidents resolved by each mechanism (dense job)",
         &["Mechanism", "Share"],
     );
-    for (name, share) in dense.mechanism_shares() {
+    for (name, share) in dense.incident_store.mechanism_shares() {
         lesson.row(&[name.to_string(), fmt_pct(share)]);
     }
-    format!("{}\n{}", table.render(), lesson.render())
+
+    let mut severity = Table::new(
+        "Severity classes assigned by the incident classification matrix",
+        &["Severity", "Dense", "MoE"],
+    );
+    let dense_severities = dense.incident_store.severity_counts();
+    let moe_severities = moe.incident_store.severity_counts();
+    for sev in byterobust_incident::Severity::ALL {
+        severity.row(&[
+            sev.label().to_string(),
+            dense_severities.get(&sev).copied().unwrap_or(0).to_string(),
+            moe_severities.get(&sev).copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    format!(
+        "{}\n{}\n{}",
+        table.render(),
+        lesson.render(),
+        severity.render()
+    )
 }
 
 /// Table 6: incident resolution cost — ByteRobust vs. selective stress
@@ -268,7 +330,12 @@ pub fn table6_resolution_cost(dense: &JobReport, moe: &JobReport) -> String {
     let baseline = SelectiveStressTester::new();
     let mut table = Table::new(
         "Table 6: incident resolution cost comparison (seconds)",
-        &["Incident Symptom", "Ours Mean (s)", "Ours Max (s)", "Selective (s)"],
+        &[
+            "Incident Symptom",
+            "Ours Mean (s)",
+            "Ours Max (s)",
+            "Selective (s)",
+        ],
     );
     let symptoms = [
         FaultKind::CudaError,
@@ -293,7 +360,13 @@ pub fn table6_resolution_cost(dense: &JobReport, moe: &JobReport) -> String {
             Some(d) => fmt_secs(d.as_secs_f64()),
             None => "INF".to_string(),
         };
-        let fmt_or_dash = |v: f64| if v.is_nan() { "-".to_string() } else { fmt_secs(v) };
+        let fmt_or_dash = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else {
+                fmt_secs(v)
+            }
+        };
         table.row(&[
             kind.symptom_name().to_string(),
             fmt_or_dash(mean),
@@ -333,17 +406,31 @@ pub fn fig12_was() -> String {
 
     let mut table = Table::new(
         "Fig. 12: weighted average scheduling (WAS) time upon machine eviction (seconds)",
-        &["Scale", "Requeue", "Reschedule", "Oracle", "ByteRobust", "P99 standbys"],
+        &[
+            "Scale",
+            "Requeue",
+            "Reschedule",
+            "Oracle",
+            "ByteRobust",
+            "P99 standbys",
+        ],
     );
     for machines in [128usize, 256, 512, 1024] {
         let model = RestartCostModel::for_job(machines);
-        let p99 = binomial_quantile(machines as u64, per_machine_failure_prob, 0.99).max(1) as usize;
+        let p99 =
+            binomial_quantile(machines as u64, per_machine_failure_prob, 0.99).max(1) as usize;
 
         // Scenario weights: evictions 1..=P99 weighted by the binomial pmf
         // (renormalized to 99%), catastrophic switch failure at 1%.
         let mut scenarios: Vec<(usize, f64)> = Vec::new();
         let pmf_sum: f64 = (1..=p99)
-            .map(|k| byterobust_recovery::binomial::binomial_pmf(machines as u64, per_machine_failure_prob, k as u64))
+            .map(|k| {
+                byterobust_recovery::binomial::binomial_pmf(
+                    machines as u64,
+                    per_machine_failure_prob,
+                    k as u64,
+                )
+            })
             .sum();
         for k in 1..=p99 {
             let w = byterobust_recovery::binomial::binomial_pmf(
@@ -391,7 +478,13 @@ pub fn fig12_was() -> String {
 pub fn table8_checkpoint() -> String {
     let mut table = Table::new(
         "Table 8: checkpointing efficiency (every-step checkpointing)",
-        &["Model", "Scale", "Approach", "Blocking Time (s)", "MFU (% of no-ckpt)"],
+        &[
+            "Model",
+            "Scale",
+            "Approach",
+            "Blocking Time (s)",
+            "MFU (% of no-ckpt)",
+        ],
     );
     let setups: [(&str, &str, JobSpec); 4] = [
         ("70B", "128x16", JobSpec::table5_70b_small()),
@@ -400,7 +493,8 @@ pub fn table8_checkpoint() -> String {
         ("256B", "1024x16", JobSpec::table5_256b_large()),
     ];
     for (model, scale, job) in setups {
-        let step = StepModel::new(job.clone()).step(&CodeVersion::initial(), 1.0, SimDuration::ZERO);
+        let step =
+            StepModel::new(job.clone()).step(&CodeVersion::initial(), 1.0, SimDuration::ZERO);
         for approach in CheckpointApproach::ALL {
             let engine = CheckpointEngine::new(approach, &job);
             let outcome = engine.save(&step);
@@ -424,7 +518,11 @@ pub fn fig10_ettr(dense: &JobReport, moe: &JobReport) -> String {
     for (name, report) in [("Dense", dense), ("MoE", moe)] {
         let mut table = Table::new(
             &format!("Fig. 10: ETTR over normalized time ({name} job)"),
-            &["Normalized Time", "Cumulative ETTR", "Sliding-window ETTR (1h)"],
+            &[
+                "Normalized Time",
+                "Cumulative ETTR",
+                "Sliding-window ETTR (1h)",
+            ],
         );
         let cumulative = report.ettr.cumulative_series(20);
         let sliding = report.ettr.sliding_series(20, window);
@@ -458,7 +556,10 @@ pub fn fig11_mfu(dense: &JobReport, moe: &JobReport) -> String {
         let max_step = report.final_step.max(1) as f64;
         let stride = (rel.len() / 20).max(1);
         for point in rel.iter().step_by(stride) {
-            table.row(&[format!("{:.2}", point.step as f64 / max_step), format!("{:.3}", point.value)]);
+            table.row(&[
+                format!("{:.2}", point.step as f64 / max_step),
+                format!("{:.3}", point.value),
+            ]);
         }
         let final_improvement = rel.last().map(|p| p.value).unwrap_or(1.0);
         out.push_str(&table.render());
@@ -482,24 +583,39 @@ pub fn replay_localization() -> String {
         &["Quantity", "Value"],
     );
     table.row(&["Injected SDC machine".to_string(), "machine-13".to_string()]);
-    table.row(&["Failing horizontal group".to_string(), format!("H{}", outcome.horizontal_group.unwrap())]);
-    table.row(&["Failing vertical group".to_string(), format!("V{}", outcome.vertical_group.unwrap())]);
+    table.row(&[
+        "Failing horizontal group".to_string(),
+        format!("H{}", outcome.horizontal_group.unwrap()),
+    ]);
+    table.row(&[
+        "Failing vertical group".to_string(),
+        format!("V{}", outcome.vertical_group.unwrap()),
+    ]);
     table.row(&[
         "Suspect set".to_string(),
-        outcome.suspects.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(", "),
+        outcome
+            .suspects
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
     ]);
     table.row(&["Diagnosis time".to_string(), outcome.duration.to_string()]);
 
     // Sweep every culprit position to measure exactness.
     let mut exact = 0;
     for culprit in 0..24u32 {
-        let faulty: std::collections::HashSet<MachineId> = [MachineId(culprit)].into_iter().collect();
+        let faulty: std::collections::HashSet<MachineId> =
+            [MachineId(culprit)].into_iter().collect();
         let o = replay.locate_with_ground_truth(&machines, &faulty);
         if o.suspects == vec![MachineId(culprit)] {
             exact += 1;
         }
     }
-    table.row(&["Exact isolations over 24 culprit positions".to_string(), format!("{exact}/24")]);
+    table.row(&[
+        "Exact isolations over 24 culprit positions".to_string(),
+        format!("{exact}/24"),
+    ]);
     table.render()
 }
 
@@ -530,7 +646,12 @@ pub fn analyzer_aggregation() -> String {
             format!("Outlier #{i}")
         };
         let leaf = cluster.fingerprint.lines().last().unwrap_or("").to_string();
-        table.row(&[label, "Trainer".to_string(), cluster.size().to_string(), leaf]);
+        table.row(&[
+            label,
+            "Trainer".to_string(),
+            cluster.size().to_string(),
+            leaf,
+        ]);
     }
     let machines: Vec<String> = decision.machines.iter().map(|m| m.to_string()).collect();
     format!(

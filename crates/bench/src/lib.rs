@@ -17,5 +17,7 @@ pub use table::Table;
 /// paper's three-month 9,600-GPU deployments; fast mode shortens the
 /// simulated duration (not the cluster size) so CI finishes quickly.
 pub fn fast_mode() -> bool {
-    std::env::var("BYTEROBUST_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("BYTEROBUST_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }

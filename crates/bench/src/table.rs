@@ -20,7 +20,11 @@ impl Table {
 
     /// Adds a row; its length must match the header count.
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells.to_vec());
         self
     }

@@ -103,9 +103,7 @@ impl CheckpointEngine {
     /// Duration of moving one machine's full checkpoint state from GPU to
     /// host memory over the shared PCIe links.
     fn d2h_copy_time(&self) -> SimDuration {
-        SimDuration::from_secs_f64(
-            self.state.bytes_per_machine() / (self.d2h_bandwidth_gbps * 1e9),
-        )
+        SimDuration::from_secs_f64(self.state.bytes_per_machine() / (self.d2h_bandwidth_gbps * 1e9))
     }
 
     /// Duration of uploading one machine's deduplicated state to remote
@@ -119,8 +117,7 @@ impl CheckpointEngine {
 
     /// Duration of exchanging backup shards with peer machines over RDMA.
     fn backup_exchange_time(&self) -> SimDuration {
-        let bytes =
-            self.state.backup_bytes_per_rank() * self.state.ranks_per_machine as f64;
+        let bytes = self.state.backup_bytes_per_rank() * self.state.ranks_per_machine as f64;
         SimDuration::from_secs_f64(bytes / (self.rdma_bandwidth_gbps * 1e9))
     }
 
@@ -135,7 +132,10 @@ impl CheckpointEngine {
                 let d2h = self.d2h_copy_time();
                 let serialize = d2h.mul_f64(0.35);
                 let upload = self.remote_upload_time();
-                SaveOutcome { blocking: d2h + serialize + upload, background: SimDuration::ZERO }
+                SaveOutcome {
+                    blocking: d2h + serialize + upload,
+                    background: SimDuration::ZERO,
+                }
             }
             CheckpointApproach::MemorySave => {
                 // Gemini-style: the D2H copy into host memory blocks the step;
@@ -143,7 +143,10 @@ impl CheckpointEngine {
                 // background.
                 let d2h = self.d2h_copy_time();
                 let background = d2h.mul_f64(0.35) + self.backup_exchange_time();
-                SaveOutcome { blocking: d2h, background }
+                SaveOutcome {
+                    blocking: d2h,
+                    background,
+                }
             }
             CheckpointApproach::ByteRobustSave => {
                 // Dual-buffered asynchronous D2H on a dedicated stream: the
@@ -161,7 +164,10 @@ impl CheckpointEngine {
                 let idle_window = step.idle_comm_window();
                 let unhidden_backup = backup.saturating_sub(idle_window);
                 let background = d2h + serialize + backup;
-                SaveOutcome { blocking: sync_point + unhidden_backup, background }
+                SaveOutcome {
+                    blocking: sync_point + unhidden_backup,
+                    background,
+                }
             }
         }
     }
@@ -200,12 +206,24 @@ mod tests {
         let b_meg = megatron.save(&step).blocking;
         let b_mem = memory.save(&step).blocking;
         let b_br = byterobust.save(&step).blocking;
-        assert!(b_meg > b_mem, "megatron {b_meg} should exceed memory {b_mem}");
-        assert!(b_mem > b_br, "memory {b_mem} should exceed byterobust {b_br}");
+        assert!(
+            b_meg > b_mem,
+            "megatron {b_meg} should exceed memory {b_mem}"
+        );
+        assert!(
+            b_mem > b_br,
+            "memory {b_mem} should exceed byterobust {b_br}"
+        );
         // ByteRobust's blocking time is sub-100ms (Table 8 reports 0.01–0.04s).
-        assert!(b_br < SimDuration::from_millis(200), "byterobust blocking = {b_br}");
+        assert!(
+            b_br < SimDuration::from_millis(200),
+            "byterobust blocking = {b_br}"
+        );
         // Megatron's blocking time is multiple seconds.
-        assert!(b_meg > SimDuration::from_secs(3), "megatron blocking = {b_meg}");
+        assert!(
+            b_meg > SimDuration::from_secs(3),
+            "megatron blocking = {b_meg}"
+        );
     }
 
     #[test]

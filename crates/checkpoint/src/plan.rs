@@ -59,7 +59,7 @@ impl CheckpointPlan {
 
     /// Whether a save at the given tier should happen at `step`.
     fn due(step: u64, every: u64) -> bool {
-        every != u64::MAX && every > 0 && step > 0 && step % every == 0
+        every != u64::MAX && every > 0 && step > 0 && step.is_multiple_of(every)
     }
 
     /// Whether an in-memory (+ peer backup) save is due at `step`.

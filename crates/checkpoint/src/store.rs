@@ -119,8 +119,7 @@ impl CheckpointStore {
     /// Loading time from local disk (SSD read + H2D), assuming ~2 GB/s SSD
     /// read per machine.
     fn disk_load_time(&self) -> SimDuration {
-        let ssd_read =
-            SimDuration::from_secs_f64(self.state.bytes_per_machine() / 2e9);
+        let ssd_read = SimDuration::from_secs_f64(self.state.bytes_per_machine() / 2e9);
         let h2d = SimDuration::from_secs_f64(
             self.state.bytes_per_machine() / (self.d2h_bandwidth_gbps * 1e9),
         );
@@ -248,8 +247,9 @@ mod tests {
         let topo = ParallelTopology::new(JobSpec::small_test().parallelism);
         let victim = MachineId(0);
         let victim_rank = topo.mapping().ranks_on_machine(victim)[0];
-        let peer_machine =
-            topo.mapping().machine_of(s.backup_assignment().backup_peer(victim_rank));
+        let peer_machine = topo
+            .mapping()
+            .machine_of(s.backup_assignment().backup_peer(victim_rank));
         let evicted = vec![victim, peer_machine];
         let rp = s.best_recovery_point(&evicted).unwrap();
         assert_eq!(rp.tier, StorageTier::Remote);

@@ -142,7 +142,12 @@ mod tests {
         let mut bl = Blacklist::new();
         bl.block(MachineId(0), SimTime::ZERO, FaultKind::JobHang, true);
         bl.block(MachineId(1), SimTime::ZERO, FaultKind::JobHang, true);
-        bl.block(MachineId(2), SimTime::ZERO, FaultKind::GpuUnavailable, false);
+        bl.block(
+            MachineId(2),
+            SimTime::ZERO,
+            FaultKind::GpuUnavailable,
+            false,
+        );
         assert_eq!(bl.over_evicted_count(), 2);
         assert_eq!(bl.len(), 3);
     }
@@ -153,7 +158,10 @@ mod tests {
         for id in [9u32, 3, 7] {
             bl.block(MachineId(id), SimTime::ZERO, FaultKind::DiskFault, false);
         }
-        assert_eq!(bl.blocked_machines(), vec![MachineId(3), MachineId(7), MachineId(9)]);
+        assert_eq!(
+            bl.blocked_machines(),
+            vec![MachineId(3), MachineId(7), MachineId(9)]
+        );
     }
 
     #[test]

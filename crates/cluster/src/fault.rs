@@ -94,9 +94,19 @@ impl FaultKind {
     pub fn category(self) -> FaultCategory {
         use FaultKind::*;
         match self {
-            CudaError | CpuOverload | CpuOom | InsufficientDiskSpace | InfinibandError
-            | FilesystemMount | HdfsError | ContainerError | OsKernelPanic | GpuMemoryError
-            | ExternalServiceError | GpuUnavailable | DiskFault => FaultCategory::Explicit,
+            CudaError
+            | CpuOverload
+            | CpuOom
+            | InsufficientDiskSpace
+            | InfinibandError
+            | FilesystemMount
+            | HdfsError
+            | ContainerError
+            | OsKernelPanic
+            | GpuMemoryError
+            | ExternalServiceError
+            | GpuUnavailable
+            | DiskFault => FaultCategory::Explicit,
             JobHang | MfuDecline | NanValue => FaultCategory::Implicit,
             CodeDataAdjustment => FaultCategory::ManualRestart,
         }
@@ -157,7 +167,10 @@ impl FaultKind {
     /// signals).
     pub fn is_high_confidence_machine_fault(self) -> bool {
         use FaultKind::*;
-        matches!(self, GpuUnavailable | DiskFault | OsKernelPanic | GpuMemoryError)
+        matches!(
+            self,
+            GpuUnavailable | DiskFault | OsKernelPanic | GpuMemoryError
+        )
     }
 
     /// Whether the symptom is network-related; the controller tolerates a few
@@ -269,7 +282,9 @@ impl FaultInjectorConfig {
     pub fn scaled_mtbf(&self) -> SimDuration {
         let scale = self.reference_gpus as f64 / self.total_gpus().max(1) as f64;
         SimDuration::from_millis(
-            (self.reference_mtbf.as_millis() as f64 * scale).round().max(1.0) as u64,
+            (self.reference_mtbf.as_millis() as f64 * scale)
+                .round()
+                .max(1.0) as u64,
         )
     }
 
@@ -405,7 +420,15 @@ impl FaultInjector {
         } else {
             true
         };
-        FaultEvent { at, kind, root_cause, culprits, transient, reproducible, seq: self.seq }
+        FaultEvent {
+            at,
+            kind,
+            root_cause,
+            culprits,
+            transient,
+            reproducible,
+            seq: self.seq,
+        }
     }
 
     fn sample_root_cause(&mut self, kind: FaultKind) -> RootCause {
@@ -472,7 +495,9 @@ impl FaultInjector {
             FaultKind::InfinibandError if self.rng.chance(0.15) => {
                 let blast = 4.min(machines);
                 let start = self.rng.index(machines.saturating_sub(blast).max(1));
-                (start..start + blast).map(|i| MachineId(i as u32)).collect()
+                (start..start + blast)
+                    .map(|i| MachineId(i as u32))
+                    .collect()
             }
             // Simultaneous independent multi-machine failures are extremely
             // rare (§6.2); default to exactly one culprit machine.
@@ -501,20 +526,24 @@ mod tests {
         assert_eq!(FaultKind::JobHang.category(), FaultCategory::Implicit);
         assert_eq!(FaultKind::NanValue.category(), FaultCategory::Implicit);
         assert_eq!(FaultKind::MfuDecline.category(), FaultCategory::Implicit);
-        assert_eq!(FaultKind::CodeDataAdjustment.category(), FaultCategory::ManualRestart);
+        assert_eq!(
+            FaultKind::CodeDataAdjustment.category(),
+            FaultCategory::ManualRestart
+        );
     }
 
     #[test]
     fn scaled_mtbf_inverse_in_gpus() {
-        let mut small = FaultInjectorConfig::default();
-        small.machines = 128;
-        small.gpus_per_machine = 8;
+        let small = FaultInjectorConfig {
+            machines: 128,
+            gpus_per_machine: 8,
+            ..FaultInjectorConfig::default()
+        };
         let mut big = small.clone();
         big.machines = 2048;
         assert!(small.scaled_mtbf() > big.scaled_mtbf());
         // 16x more GPUs -> 16x shorter MTBF.
-        let ratio =
-            small.scaled_mtbf().as_millis() as f64 / big.scaled_mtbf().as_millis() as f64;
+        let ratio = small.scaled_mtbf().as_millis() as f64 / big.scaled_mtbf().as_millis() as f64;
         assert!((ratio - 16.0).abs() < 0.1, "ratio = {ratio}");
     }
 
@@ -555,8 +584,14 @@ mod tests {
         // Table 1: explicit ~71.6%, implicit ~11.0%, manual ~17.3%. The manual
         // share here depends on the arrival-rate ratio, so allow broad bands.
         assert!(explicit_frac > 0.5, "explicit = {explicit_frac}");
-        assert!(implicit_frac > 0.05 && implicit_frac < 0.25, "implicit = {implicit_frac}");
-        assert!(manual_frac > 0.02 && manual_frac < 0.45, "manual = {manual_frac}");
+        assert!(
+            implicit_frac > 0.05 && implicit_frac < 0.25,
+            "implicit = {implicit_frac}"
+        );
+        assert!(
+            manual_frac > 0.02 && manual_frac < 0.45,
+            "manual = {manual_frac}"
+        );
     }
 
     #[test]
@@ -583,9 +618,15 @@ mod tests {
             let e = inj.next_event(now);
             now = e.at;
             if e.root_cause == RootCause::Infrastructure
-                && !matches!(e.kind, FaultKind::HdfsError | FaultKind::ExternalServiceError)
+                && !matches!(
+                    e.kind,
+                    FaultKind::HdfsError | FaultKind::ExternalServiceError
+                )
             {
-                assert!(!e.culprits.is_empty(), "infrastructure fault without culprits: {e:?}");
+                assert!(
+                    !e.culprits.is_empty(),
+                    "infrastructure fault without culprits: {e:?}"
+                );
                 for m in &e.culprits {
                     assert!(m.index() < inj.config().machines);
                 }
@@ -621,7 +662,10 @@ mod tests {
             }
         }
         assert!(nan_seen > 0, "no NaN incidents sampled");
-        assert!(irreproducible > 0, "all {nan_seen} NaN incidents were reproducible");
+        assert!(
+            irreproducible > 0,
+            "all {nan_seen} NaN incidents were reproducible"
+        );
     }
 
     #[test]

@@ -217,6 +217,9 @@ mod tests {
         let mut m = machine();
         m.gpu_mut(0).sdc_prone = true;
         let report = HealthReport::inspect(&m);
-        assert!(report.is_clean(), "SDC must not be detectable by passive inspection");
+        assert!(
+            report.is_clean(),
+            "SDC must not be detectable by passive inspection"
+        );
     }
 }

@@ -17,7 +17,9 @@ pub mod machine;
 pub mod topology;
 
 pub use blacklist::Blacklist;
-pub use fault::{FaultCategory, FaultEvent, FaultInjector, FaultInjectorConfig, FaultKind, RootCause};
+pub use fault::{
+    FaultCategory, FaultEvent, FaultInjector, FaultInjectorConfig, FaultKind, RootCause,
+};
 pub use gpu::{Gpu, GpuState};
 pub use health::{HealthIssue, HealthReport};
 pub use ids::{GpuId, MachineId, SwitchId};

@@ -91,7 +91,9 @@ impl Machine {
     /// Creates a healthy machine with `gpus_per_machine` GPUs attached to the
     /// given switch.
     pub fn healthy(id: MachineId, switch: SwitchId, gpus_per_machine: u8) -> Self {
-        let gpus = (0..gpus_per_machine).map(|slot| Gpu::healthy(GpuId::new(id, slot))).collect();
+        let gpus = (0..gpus_per_machine)
+            .map(|slot| Gpu::healthy(GpuId::new(id, slot)))
+            .collect();
         Machine {
             id,
             switch,
@@ -112,7 +114,9 @@ impl Machine {
     /// This is the predicate warm-standby self-checks verify before a machine
     /// is delivered to a job (§6.2).
     pub fn passes_self_check(&self) -> bool {
-        self.gpus.iter().all(|g| g.state == GpuState::Healthy && !g.is_overheated())
+        self.gpus
+            .iter()
+            .all(|g| g.state == GpuState::Healthy && !g.is_overheated())
             && self.nic == NicState::Up
             && !self.host.kernel_panicked
             && self.host.filesystem_mounted
@@ -136,8 +140,11 @@ impl Machine {
         if !self.is_operational() {
             return 0.0;
         }
-        let gpu_min =
-            self.gpus.iter().map(|g| g.relative_throughput()).fold(f64::INFINITY, f64::min);
+        let gpu_min = self
+            .gpus
+            .iter()
+            .map(|g| g.relative_throughput())
+            .fold(f64::INFINITY, f64::min);
         let nic_factor = match self.nic {
             NicState::Up => 1.0,
             NicState::Flapping => 0.7,

@@ -80,9 +80,18 @@ impl Cluster {
     /// Builds a cluster from a spec. The first `active_machines` ids are
     /// active; the rest start as warm standbys.
     pub fn build(spec: ClusterSpec) -> Self {
-        assert!(spec.active_machines > 0, "cluster must have at least one active machine");
-        assert!(spec.gpus_per_machine > 0, "machines must have at least one GPU");
-        assert!(spec.machines_per_switch > 0, "machines_per_switch must be > 0");
+        assert!(
+            spec.active_machines > 0,
+            "cluster must have at least one active machine"
+        );
+        assert!(
+            spec.gpus_per_machine > 0,
+            "machines must have at least one GPU"
+        );
+        assert!(
+            spec.machines_per_switch > 0,
+            "machines_per_switch must be > 0"
+        );
         let total = spec.total_machines();
         let mut machines = Vec::with_capacity(total);
         for i in 0..total {
@@ -95,7 +104,11 @@ impl Cluster {
             };
             machines.push(m);
         }
-        Cluster { spec, machines, blacklist: Blacklist::new() }
+        Cluster {
+            spec,
+            machines,
+            blacklist: Blacklist::new(),
+        }
     }
 
     /// The spec this cluster was built from.
@@ -131,7 +144,11 @@ impl Cluster {
 
     /// Ids of machines currently in the given state.
     pub fn machines_in_state(&self, state: MachineState) -> Vec<MachineId> {
-        self.machines.iter().filter(|m| m.state == state).map(|m| m.id).collect()
+        self.machines
+            .iter()
+            .filter(|m| m.state == state)
+            .map(|m| m.id)
+            .collect()
     }
 
     /// Ids of machines actively participating in training.
@@ -146,12 +163,18 @@ impl Cluster {
 
     /// Machines attached to the given leaf switch.
     pub fn machines_under_switch(&self, switch: SwitchId) -> Vec<MachineId> {
-        self.machines.iter().filter(|m| m.switch == switch).map(|m| m.id).collect()
+        self.machines
+            .iter()
+            .filter(|m| m.switch == switch)
+            .map(|m| m.id)
+            .collect()
     }
 
     /// Number of leaf switches in the topology.
     pub fn switch_count(&self) -> usize {
-        self.spec.total_machines().div_ceil(self.spec.machines_per_switch)
+        self.spec
+            .total_machines()
+            .div_ceil(self.spec.machines_per_switch)
     }
 
     /// Evicts a machine: marks it evicted and blacklists it.
@@ -191,8 +214,11 @@ impl Cluster {
     /// Aggregate relative throughput of the active fleet (mean of per-machine
     /// relative throughput); 1.0 means every active machine at full speed.
     pub fn active_relative_throughput(&self) -> f64 {
-        let active: Vec<&Machine> =
-            self.machines.iter().filter(|m| m.state == MachineState::Active).collect();
+        let active: Vec<&Machine> = self
+            .machines
+            .iter()
+            .filter(|m| m.state == MachineState::Active)
+            .collect();
         if active.is_empty() {
             return 0.0;
         }

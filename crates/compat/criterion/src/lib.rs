@@ -1,0 +1,101 @@
+//! Offline minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io. The bench
+//! targets in `crates/bench/benches/` use only a small slice of criterion's
+//! API — `Criterion::bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — so this crate implements
+//! exactly that slice: it runs the routine a fixed number of timed iterations
+//! and prints mean wall-clock time per iteration. It makes no statistical
+//! claims; it exists so `cargo bench` compiles and produces indicative
+//! numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Minimal stand-in for `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Times `f`'s [`Bencher::iter`] routine and prints the mean per-iteration
+    /// wall-clock time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        if bencher.iterations > 0 {
+            let mean = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+            println!(
+                "bench {id}: {:.3} ms/iter ({} iters)",
+                mean * 1e3,
+                bencher.iterations
+            );
+        } else {
+            println!("bench {id}: no iterations run");
+        }
+        self
+    }
+}
+
+/// Minimal stand-in for `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Calibration-free fixed iteration count: small enough to keep
+    /// `cargo bench` quick, large enough to average out scheduler noise.
+    const ITERATIONS: u64 = 10;
+
+    /// Runs `routine` [`Self::ITERATIONS`] times, accumulating wall-clock
+    /// time. The routine's return value is passed through `black_box` to keep
+    /// the optimizer from deleting the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..Self::ITERATIONS {
+            let start = Instant::now();
+            let out = routine();
+            self.elapsed += start.elapsed();
+            std::hint::black_box(out);
+        }
+        self.iterations += Self::ITERATIONS;
+    }
+}
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Collects benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates a `main` that runs the given groups, mirroring criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,19 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `serde` cannot be fetched. The workspace's types keep their
+//! `#[derive(Serialize, Deserialize)]` annotations for source compatibility;
+//! this crate provides the trait names those derives and `use` statements
+//! refer to, and re-exports the no-op derive macros from the sibling
+//! `serde_derive` stub. Swapping back to the real serde is a two-line change
+//! in the workspace manifest — no source edits required.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+// Like the real serde with the `derive` feature: the derive macros share the
+// trait names (macro vs. type namespace).
+pub use serde_derive::{Deserialize, Serialize};

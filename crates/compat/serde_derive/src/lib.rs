@@ -1,0 +1,22 @@
+//! No-op stand-ins for `serde_derive`'s `Serialize` / `Deserialize` derives.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the real `serde` cannot be vendored. The workspace keeps its `#[derive(
+//! Serialize, Deserialize)]` annotations — they document intent and keep the
+//! code source-compatible with the real serde — and this crate makes them
+//! compile by expanding to nothing. No serialization code is generated; the
+//! simulator never serializes across a process boundary, so nothing is lost.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

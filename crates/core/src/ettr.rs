@@ -42,7 +42,11 @@ impl EttrTracker {
             return;
         }
         let start = self.now();
-        self.segments.push(Segment { start, duration, productive });
+        self.segments.push(Segment {
+            start,
+            duration,
+            productive,
+        });
     }
 
     /// Records a stretch of productive training.
@@ -63,7 +67,11 @@ impl EttrTracker {
 
     /// Total productive time recorded.
     pub fn productive_time(&self) -> SimDuration {
-        self.segments.iter().filter(|s| s.productive).map(|s| s.duration).sum()
+        self.segments
+            .iter()
+            .filter(|s| s.productive)
+            .map(|s| s.duration)
+            .sum()
     }
 
     /// Total unproductive time recorded.
@@ -83,7 +91,11 @@ impl EttrTracker {
     /// ETTR within the window `[at - window, at]` (1.0 if the window contains
     /// no recorded time).
     pub fn sliding_ettr(&self, at: SimTime, window: SimDuration) -> f64 {
-        let window_start = if at.as_millis() > window.as_millis() { at - window } else { SimTime::ZERO };
+        let window_start = if at.as_millis() > window.as_millis() {
+            at - window
+        } else {
+            SimTime::ZERO
+        };
         let mut productive = 0u64;
         let mut total = 0u64;
         for seg in &self.segments {
@@ -202,7 +214,10 @@ mod tests {
         // Cumulative barely moves.
         assert!(t.cumulative_ettr() > 0.94);
         // A window fully inside the productive prefix is 1.0.
-        assert_eq!(t.sliding_ettr(SimTime::from_hours(5), SimDuration::from_hours(1)), 1.0);
+        assert_eq!(
+            t.sliding_ettr(SimTime::from_hours(5), SimDuration::from_hours(1)),
+            1.0
+        );
     }
 
     #[test]

@@ -12,10 +12,11 @@
 use serde::{Deserialize, Serialize};
 
 use byterobust_agent::{
-    CkptManager, DiagnosisConclusion, Diagnoser, Monitor, OnDemandTracer, SelectiveStressTester,
+    CkptManager, Diagnoser, DiagnosisConclusion, Monitor, OnDemandTracer, SelectiveStressTester,
 };
 use byterobust_analyzer::RuntimeAnalyzer;
 use byterobust_cluster::{Cluster, FaultCategory, FaultEvent, FaultKind, MachineId, RootCause};
+use byterobust_incident::{FlightRecorder, IncidentCapture, RecorderEvent, RecoveryPhase};
 use byterobust_parallelism::ParallelTopology;
 use byterobust_recovery::{
     DualPhaseReplay, FailoverCost, HotUpdateManager, ReplayConfig, RestartCostModel,
@@ -25,42 +26,9 @@ use byterobust_sim::{SimDuration, SimRng, SimTime};
 use byterobust_telemetry::LogClass;
 use byterobust_trainsim::TrainingRuntime;
 
-/// Which mechanism finally resolved an incident.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ResolutionMechanism {
-    /// Real-time checks identified the machine; evicted immediately
-    /// (AutoFT-ER fast path).
-    ImmediateEviction,
-    /// Stop-time checks identified the machines; evicted (AutoFT-ER).
-    StopTimeEviction,
-    /// All checks passed; a plain restart cleared the transient fault.
-    Reattempt,
-    /// Reverting recent user code cleared the fault (Rollback).
-    Rollback,
-    /// Dual-phase replay isolated the machines; evicted.
-    DualPhaseReplay,
-    /// The Runtime Analyzer's aggregation analysis over-evicted a parallel
-    /// group (Analyzer-ER).
-    AnalyzerEviction,
-    /// A manual code/data adjustment handled by the in-place hot update
-    /// (AutoFT-HU).
-    HotUpdate,
-}
-
-impl ResolutionMechanism {
-    /// The row label used in Table 4.
-    pub fn table4_label(self) -> &'static str {
-        match self {
-            ResolutionMechanism::ImmediateEviction
-            | ResolutionMechanism::StopTimeEviction
-            | ResolutionMechanism::DualPhaseReplay
-            | ResolutionMechanism::Reattempt => "AutoFT-ER",
-            ResolutionMechanism::HotUpdate => "AutoFT-HU",
-            ResolutionMechanism::AnalyzerEviction => "Analyzer-ER",
-            ResolutionMechanism::Rollback => "Rollback",
-        }
-    }
-}
+// The resolution-mechanism taxonomy moved to `byterobust-incident` (the
+// classification matrix keys on it); re-exported here at its historical path.
+pub use byterobust_incident::ResolutionMechanism;
 
 /// The outcome of handling one incident.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,6 +48,10 @@ pub struct IncidentOutcome {
     pub resumed_step: u64,
     /// The unproductive-time breakdown.
     pub cost: FailoverCost,
+    /// The frozen flight-recorder capture of this incident: pre-incident
+    /// telemetry context plus every verdict, decision, eviction, and
+    /// recovery-phase transition recorded while it was active.
+    pub capture: IncidentCapture,
 }
 
 /// Configuration of the controller.
@@ -94,7 +66,10 @@ pub struct ControllerConfig {
 
 impl Default for ControllerConfig {
     fn default() -> Self {
-        ControllerConfig { manual_restart_verify_steps: 3, per_machine_daily_failure_prob: 0.002 }
+        ControllerConfig {
+            manual_restart_verify_steps: 3,
+            per_machine_daily_failure_prob: 0.002,
+        }
     }
 }
 
@@ -111,6 +86,7 @@ pub struct RobustController {
     standby_pool: WarmStandbyPool,
     restart_model: RestartCostModel,
     stress_baseline: SelectiveStressTester,
+    recorder: FlightRecorder,
 }
 
 impl RobustController {
@@ -130,7 +106,21 @@ impl RobustController {
             )),
             restart_model: RestartCostModel::for_job(job_machines),
             stress_baseline: SelectiveStressTester::new(),
+            recorder: FlightRecorder::default(),
         }
+    }
+
+    /// The flight recorder (frozen captures are returned inside each
+    /// [`IncidentOutcome`]; background telemetry is tapped through
+    /// [`RobustController::recorder_mut`]).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Mutable recorder access, used by the telemetry tap to feed background
+    /// system events into the ring between incidents.
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.recorder
     }
 
     /// The monitor (for detection-time queries).
@@ -198,9 +188,7 @@ impl RobustController {
             RootCause::Transient => restarted,
             RootCause::Human => restarted,
             RootCause::UserCode => rolled_back,
-            RootCause::Infrastructure => {
-                fault.culprits.iter().all(|c| evicted.contains(c))
-            }
+            RootCause::Infrastructure => fault.culprits.iter().all(|c| evicted.contains(c)),
         }
     }
 
@@ -216,11 +204,26 @@ impl RobustController {
         ckpt: &mut CkptManager,
     ) -> IncidentOutcome {
         let detection = self.monitor.detection_time_with_inspection(fault.kind);
-        let mut cost = FailoverCost { detection, ..FailoverCost::default() };
+        let mut cost = FailoverCost {
+            detection,
+            ..FailoverCost::default()
+        };
         let mut evicted: Vec<MachineId> = Vec::new();
         let mut over_evicted = false;
         let mut rolled_back = false;
         let mut mechanism;
+
+        // Open the flight-recorder window: recent background telemetry is
+        // snapshotted as context, and everything recorded until the incident
+        // closes lands in the frozen capture.
+        self.recorder.open_incident(fault.seq, fault.kind, now);
+        self.recorder.record(
+            now + detection,
+            RecorderEvent::Detected {
+                kind: fault.kind,
+                latency: detection,
+            },
+        );
 
         match fault.category() {
             FaultCategory::ManualRestart => {
@@ -234,14 +237,24 @@ impl RobustController {
                 });
                 mechanism = ResolutionMechanism::HotUpdate;
             }
-            FaultCategory::Implicit if matches!(fault.kind, FaultKind::JobHang | FaultKind::MfuDecline) => {
+            FaultCategory::Implicit
+                if matches!(fault.kind, FaultKind::JobHang | FaultKind::MfuDecline) =>
+            {
                 // §5: aggregation analysis and parallel-group over-eviction.
                 let topology = runtime.topology().clone();
-                let decision = self.run_aggregation(fault, runtime, &topology, &mut cost);
+                let decision = self.run_aggregation(fault, now, runtime, &topology, &mut cost);
                 if decision.is_empty() {
                     // No outliers (e.g. uniform slowdown): fall back to the
                     // stop-time path.
-                    mechanism = self.stop_time_path(fault, cluster, runtime, &mut cost, &mut evicted, &mut rolled_back);
+                    mechanism = self.stop_time_path(
+                        fault,
+                        now,
+                        cluster,
+                        runtime,
+                        &mut cost,
+                        &mut evicted,
+                        &mut rolled_back,
+                    );
                 } else {
                     over_evicted = decision.over_evicts;
                     evicted.extend(decision.machines.iter().copied());
@@ -266,16 +279,42 @@ impl RobustController {
                 flagged.dedup();
                 if !flagged.is_empty() {
                     cost.localization += SimDuration::from_secs(60);
+                    for finding in findings.iter().filter(|f| flagged.contains(&f.machine)) {
+                        self.recorder.record(
+                            now + cost.total(),
+                            RecorderEvent::MonitorVerdict {
+                                machine: finding.machine,
+                                issue: format!("{:?}", finding.issue),
+                            },
+                        );
+                    }
                     evicted.extend(flagged);
                     mechanism = ResolutionMechanism::ImmediateEviction;
                 } else if fault.kind.is_high_confidence_machine_fault()
                     && !fault.culprits.is_empty()
                 {
                     cost.localization += SimDuration::from_secs(60);
+                    for &culprit in &fault.culprits {
+                        self.recorder.record(
+                            now + cost.total(),
+                            RecorderEvent::MonitorVerdict {
+                                machine: culprit,
+                                issue: fault.kind.symptom_name().to_string(),
+                            },
+                        );
+                    }
                     evicted.extend(fault.culprits.iter().copied());
                     mechanism = ResolutionMechanism::ImmediateEviction;
                 } else {
-                    mechanism = self.stop_time_path(fault, cluster, runtime, &mut cost, &mut evicted, &mut rolled_back);
+                    mechanism = self.stop_time_path(
+                        fault,
+                        now,
+                        cluster,
+                        runtime,
+                        &mut cost,
+                        &mut evicted,
+                        &mut rolled_back,
+                    );
                 }
             }
         }
@@ -295,7 +334,9 @@ impl RobustController {
             // Dual-phase replay over the machines still in the job.
             let pp = runtime.job().parallelism.pp.max(1);
             let gpus_per_machine = runtime.job().parallelism.gpus_per_machine.max(1);
-            let pp_machines = (pp * runtime.job().parallelism.tp).div_ceil(gpus_per_machine).max(1);
+            let pp_machines = (pp * runtime.job().parallelism.tp)
+                .div_ceil(gpus_per_machine)
+                .max(1);
             let replay = DualPhaseReplay::new(ReplayConfig::new(pp_machines));
             let machines: Vec<MachineId> = cluster.active_machines();
             let faulty: std::collections::HashSet<MachineId> =
@@ -310,6 +351,13 @@ impl RobustController {
                 if outcome.suspects.len() > fault.culprits.len() {
                     over_evicted = true;
                 }
+                self.recorder.record(
+                    now + cost.total(),
+                    RecorderEvent::ReplayVerdict {
+                        suspects: outcome.suspects.clone(),
+                        duration: outcome.duration,
+                    },
+                );
                 evicted.extend(outcome.suspects);
                 mechanism = ResolutionMechanism::DualPhaseReplay;
             } else if !fault.culprits.is_empty() {
@@ -327,10 +375,51 @@ impl RobustController {
         // checkpoint restore, recomputation.
         evicted.sort();
         evicted.dedup();
-        self.recover(fault, now, cluster, runtime, ckpt, &evicted, rolled_back, &mut cost, &mut mechanism);
+        self.recover(
+            fault,
+            now,
+            cluster,
+            runtime,
+            ckpt,
+            &evicted,
+            rolled_back,
+            &mut cost,
+            &mut mechanism,
+        );
 
         let applied_hot_update = mechanism == ResolutionMechanism::HotUpdate
             || (self.hot_update.history().last().map(|h| h.applied_at) == Some(now));
+
+        // Record the recovery-phase transitions (chronological end times) and
+        // the resume marker, then freeze the capture.
+        let mut phase_clock = now;
+        let phases = [
+            (RecoveryPhase::Detection, cost.detection),
+            (RecoveryPhase::Localization, cost.localization),
+            (RecoveryPhase::Scheduling, cost.scheduling),
+            (RecoveryPhase::PodBuild, cost.pod_build),
+            (RecoveryPhase::CheckpointLoad, cost.checkpoint_load),
+            (RecoveryPhase::Recompute, cost.recompute),
+        ];
+        for (phase, duration) in phases {
+            phase_clock += duration;
+            if !duration.is_zero() {
+                self.recorder.record(
+                    phase_clock,
+                    RecorderEvent::PhaseTransition { phase, duration },
+                );
+            }
+        }
+        self.recorder.record(
+            now + cost.total(),
+            RecorderEvent::Resumed {
+                step: runtime.current_step(),
+            },
+        );
+        let capture = self
+            .recorder
+            .close_incident(now + cost.total())
+            .expect("incident window was opened at the top of handle_incident");
 
         IncidentOutcome {
             mechanism,
@@ -340,20 +429,24 @@ impl RobustController {
             resumed_step: runtime.current_step(),
             evicted,
             cost,
+            capture,
         }
     }
 
-    /// Runs the aggregation analysis for an implicit failure.
+    /// Runs the aggregation analysis for an implicit failure, recording the
+    /// analyzer's decision as incident evidence.
     fn run_aggregation(
         &mut self,
         fault: &FaultEvent,
+        now: SimTime,
         runtime: &TrainingRuntime,
         topology: &ParallelTopology,
         cost: &mut FailoverCost,
     ) -> byterobust_analyzer::EvictionDecision {
-        if fault.kind == FaultKind::MfuDecline {
+        let decision = if fault.kind == FaultKind::MfuDecline {
             let (captures, capture_time) =
-                self.tracer.capture_rounds(runtime, 5, SimDuration::from_secs(10));
+                self.tracer
+                    .capture_rounds(runtime, 5, SimDuration::from_secs(10));
             let outcome = self.analyzer.analyze_fail_slow(topology, &captures);
             cost.localization += capture_time + self.analyzer.config.aggregation_latency;
             outcome.decision
@@ -362,15 +455,29 @@ impl RobustController {
             let outcome = self.analyzer.analyze_hang(topology, &stacks);
             cost.localization += capture_time + outcome.duration;
             outcome.decision
+        };
+        if !decision.is_empty() {
+            self.recorder.record(
+                now + cost.total(),
+                RecorderEvent::AnalyzerDecision {
+                    machines: decision.machines.clone(),
+                    shared_group: decision.shared_group.map(|group| format!("{group:?}")),
+                    outlier_ranks: decision.outlier_ranks.len(),
+                    over_evicts: decision.over_evicts,
+                },
+            );
         }
+        decision
     }
 
     /// The hierarchical stop-time path (diagnose → evict / reattempt /
-    /// rollback), returning the mechanism it settled on.
+    /// rollback), returning the mechanism it settled on. The diagnoser's
+    /// conclusion is recorded as incident evidence.
     #[allow(clippy::too_many_arguments)]
     fn stop_time_path(
         &mut self,
         fault: &FaultEvent,
+        now: SimTime,
         cluster: &Cluster,
         runtime: &TrainingRuntime,
         cost: &mut FailoverCost,
@@ -380,8 +487,18 @@ impl RobustController {
         let _ = runtime;
         let log_class = Self::log_class_for(fault);
         let machines = cluster.active_machines();
-        let outcome = self.diagnoser.diagnose(cluster, &machines, fault.kind, log_class);
+        let outcome = self
+            .diagnoser
+            .diagnose(cluster, &machines, fault.kind, log_class);
         cost.localization += outcome.duration;
+        self.recorder.record(
+            now + cost.total(),
+            RecorderEvent::DiagnosisDecision {
+                conclusion: outcome.conclusion,
+                suspects: outcome.suspects.clone(),
+                duration: outcome.duration,
+            },
+        );
         match outcome.conclusion {
             DiagnosisConclusion::FaultyMachines => {
                 evicted.extend(outcome.suspects);
@@ -414,6 +531,13 @@ impl RobustController {
         for &m in evicted {
             let over = !fault.culprits.contains(&m);
             cluster.evict_machine(m, now, fault.kind, over);
+            self.recorder.record(
+                now + cost.total(),
+                RecorderEvent::Eviction {
+                    machine: m,
+                    over_eviction: over,
+                },
+            );
         }
 
         // Scheduling: warm standbys for evictions, in-place restart otherwise.
@@ -421,7 +545,8 @@ impl RobustController {
             cost.scheduling += self.restart_model.hot_update_time();
         } else {
             cost.scheduling +=
-                self.restart_model.warm_standby_time(&mut self.standby_pool, evicted.len(), now);
+                self.restart_model
+                    .warm_standby_time(&mut self.standby_pool, evicted.len(), now);
             // Activate as many ready standbys as we were granted.
             let standbys = cluster.standby_machines();
             for standby in standbys.into_iter().take(evicted.len()) {
@@ -439,9 +564,21 @@ impl RobustController {
                 // job's update history); revert to a fresh initial version.
                 runtime.set_code_version(byterobust_trainsim::CodeVersion::initial());
             }
+            self.recorder.record(
+                now + cost.total(),
+                RecorderEvent::Rollback {
+                    to_version: runtime.code_version().version,
+                },
+            );
         } else if self.hot_update.has_pending() {
             if let Some(version) = self.hot_update.apply_pending(now) {
                 runtime.set_code_version(version);
+                self.recorder.record(
+                    now + cost.total(),
+                    RecorderEvent::HotUpdateApplied {
+                        version: version.version,
+                    },
+                );
                 if *mechanism == ResolutionMechanism::Reattempt {
                     *mechanism = ResolutionMechanism::HotUpdate;
                 }
@@ -492,7 +629,12 @@ mod tests {
         let runtime = TrainingRuntime::new(job.clone());
         let ckpt = CkptManager::byterobust_default(&job);
         let controller = RobustController::new(job.machines(), SimRng::new(7));
-        Fixture { controller, cluster, runtime, ckpt }
+        Fixture {
+            controller,
+            cluster,
+            runtime,
+            ckpt,
+        }
     }
 
     fn train_some_steps(f: &mut Fixture, steps: u64) {
@@ -526,7 +668,11 @@ mod tests {
         train_some_steps(&mut f, 10);
         let victim = MachineId(3);
         f.cluster.machine_mut(victim).gpu_mut(0).mark_lost();
-        let event = fault(FaultKind::GpuUnavailable, RootCause::Infrastructure, vec![victim]);
+        let event = fault(
+            FaultKind::GpuUnavailable,
+            RootCause::Infrastructure,
+            vec![victim],
+        );
         let outcome = f.controller.handle_incident(
             &event,
             SimTime::from_hours(1),
@@ -556,7 +702,9 @@ mod tests {
             description: "new fused kernel".to_string(),
             bug_risk: 0.9,
         });
-        f.controller.hot_update_mut().apply_pending(SimTime::from_secs(1800));
+        f.controller
+            .hot_update_mut()
+            .apply_pending(SimTime::from_secs(1800));
         let event = fault(FaultKind::CudaError, RootCause::UserCode, vec![]);
         let outcome = f.controller.handle_incident(
             &event,
@@ -574,7 +722,11 @@ mod tests {
     fn transient_infiniband_error_is_reattempted() {
         let mut f = fixture();
         train_some_steps(&mut f, 5);
-        let event = fault(FaultKind::InfinibandError, RootCause::Transient, vec![MachineId(2)]);
+        let event = fault(
+            FaultKind::InfinibandError,
+            RootCause::Transient,
+            vec![MachineId(2)],
+        );
         let outcome = f.controller.handle_incident(
             &event,
             SimTime::from_hours(1),
@@ -606,7 +758,10 @@ mod tests {
         // Over-eviction is bounded: at most one machine per pipeline stage.
         assert!(outcome.evicted.len() <= f.runtime.job().parallelism.pp);
         // The job resumes from the latest checkpoint and the fault is cleared.
-        assert_eq!(f.runtime.status(), byterobust_trainsim::RuntimeStatus::Running);
+        assert_eq!(
+            f.runtime.status(),
+            byterobust_trainsim::RuntimeStatus::Running
+        );
         // Detection waited for the zero-RDMA-traffic window (10 minutes).
         assert_eq!(outcome.cost.detection, SimDuration::from_mins(10));
     }
@@ -628,7 +783,10 @@ mod tests {
         assert!(outcome.applied_hot_update);
         assert!(outcome.evicted.is_empty());
         // Training intentionally rolled back a few steps for verification.
-        assert_eq!(outcome.resumed_step, 20 - f.controller.config.manual_restart_verify_steps);
+        assert_eq!(
+            outcome.resumed_step,
+            20 - f.controller.config.manual_restart_verify_steps
+        );
         // The code version advanced.
         assert!(f.runtime.code_version().version > before_version);
         // No pod rebuild for in-place updates.
@@ -654,13 +812,5 @@ mod tests {
         // resumes.
         assert!(outcome.evicted.contains(&victim), "outcome: {outcome:?}");
         assert!(f.cluster.blacklist.contains(victim));
-    }
-
-    #[test]
-    fn table4_labels() {
-        assert_eq!(ResolutionMechanism::ImmediateEviction.table4_label(), "AutoFT-ER");
-        assert_eq!(ResolutionMechanism::HotUpdate.table4_label(), "AutoFT-HU");
-        assert_eq!(ResolutionMechanism::AnalyzerEviction.table4_label(), "Analyzer-ER");
-        assert_eq!(ResolutionMechanism::Rollback.table4_label(), "Rollback");
     }
 }

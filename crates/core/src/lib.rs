@@ -15,6 +15,27 @@
 //! * [`lifecycle::JobLifecycle`] — drives a whole training job (three months
 //!   of simulated time if asked) against the fault injector and produces a
 //!   [`report::JobReport`] with everything the §8.1 figures and tables need.
+//!
+//! # Incident lifecycle
+//!
+//! Every incident the controller handles is also *recorded*, not just
+//! resolved, through the `byterobust-incident` subsystem:
+//!
+//! * the controller owns a flight recorder
+//!   ([`RobustController::recorder`](ft::RobustController::recorder)); the
+//!   lifecycle driver taps telemetry signatures into its background ring, and
+//!   `handle_incident` opens an incident window, records monitor verdicts,
+//!   diagnoser/analyzer decisions, replay verdicts, evictions, rollbacks,
+//!   hot-update merges and recovery-phase transitions into it, and freezes
+//!   the capture into the returned [`ft::IncidentOutcome`];
+//! * the lifecycle driver classifies each closed incident through the
+//!   `REC-*` classification matrix and appends a dossier (record + capture +
+//!   classification) to the [`report::JobReport`]'s incident store;
+//! * [`report::JobReport`]'s incident aggregations (Table 4 resolution
+//!   counts, mechanism shares, per-symptom resolution times, eviction stats)
+//!   are computed as incident-store queries, and
+//!   `JobReport::incident_store.postmortem(seq)` renders any incident into a
+//!   full postmortem artifact.
 
 pub mod config;
 pub mod ettr;

@@ -11,7 +11,12 @@
 
 use byterobust_agent::CkptManager;
 use byterobust_cluster::{Cluster, FaultEvent, FaultInjector, FaultKind, NicState, RootCause};
+use byterobust_incident::{
+    telemetry_signature, ClassificationInput, ClassificationMatrix, IncidentDossier, IncidentStore,
+    RecorderEvent,
+};
 use byterobust_sim::{SimDuration, SimRng, SimTime};
+use byterobust_telemetry::SystemEvent;
 use byterobust_trainsim::{LossModel, StepModel, TrainingRuntime};
 
 use crate::config::JobConfig;
@@ -95,6 +100,8 @@ impl JobLifecycle {
         let mut incidents: Vec<IncidentRecord> = Vec::new();
         let mut mfu_series: Vec<SeriesPoint> = Vec::new();
         let mut loss_series: Vec<SeriesPoint> = Vec::new();
+        let matrix = ClassificationMatrix::byterobust_default();
+        let mut incident_store = IncidentStore::new();
 
         let end = SimTime::ZERO + config.duration;
         let mut now = SimTime::ZERO;
@@ -126,7 +133,11 @@ impl JobLifecycle {
                 ckpt.advance_steps(from_step, to_step, &breakdown);
 
                 ettr.record_productive(interval);
-                mfu_series.push(SeriesPoint { at: interval_end, step: to_step, value: breakdown.mfu });
+                mfu_series.push(SeriesPoint {
+                    at: interval_end,
+                    step: to_step,
+                    value: breakdown.mfu,
+                });
                 loss_series.push(SeriesPoint {
                     at: interval_end,
                     step: to_step,
@@ -140,6 +151,17 @@ impl JobLifecycle {
 
             // ----- Handle the incident.
             Self::apply_fault_effects(&next_fault, &mut cluster, &mut runtime);
+            // Telemetry tap: explicit symptoms leave a system-event signature
+            // on the culprit machines, which lands in the flight recorder's
+            // background ring and becomes the incident's pre-incident context.
+            if let Some(event_kind) = telemetry_signature(next_fault.kind) {
+                for &culprit in &next_fault.culprits {
+                    controller.recorder_mut().record(
+                        now,
+                        RecorderEvent::Telemetry(SystemEvent::new(now, event_kind, culprit)),
+                    );
+                }
+            }
             let outcome =
                 controller.handle_incident(&next_fault, now, &mut cluster, &mut runtime, &mut ckpt);
             let unproductive = outcome.cost.total();
@@ -154,6 +176,29 @@ impl JobLifecycle {
                 evicted_count: outcome.evicted.len(),
                 over_evicted: outcome.over_evicted,
             });
+            let classification = matrix.classify(&ClassificationInput {
+                category: next_fault.category(),
+                root_cause: next_fault.root_cause,
+                mechanism: outcome.mechanism,
+                blast_radius: outcome.evicted.len(),
+                over_evicted: outcome.over_evicted,
+                reproducible: next_fault.reproducible,
+                downtime: unproductive,
+            });
+            incident_store.insert(IncidentDossier {
+                seq: next_fault.seq,
+                at: now,
+                kind: next_fault.kind,
+                category: next_fault.category(),
+                root_cause: next_fault.root_cause,
+                mechanism: outcome.mechanism,
+                cost: outcome.cost,
+                evicted: outcome.evicted.clone(),
+                over_evicted: outcome.over_evicted,
+                resumed_step: outcome.resumed_step,
+                classification,
+                capture: outcome.capture,
+            });
             now += unproductive;
             next_fault = injector.next_event(now);
         }
@@ -165,6 +210,7 @@ impl JobLifecycle {
             mfu_series,
             loss_series,
             incidents,
+            incident_store,
             final_step: runtime.current_step(),
             code_versions_deployed,
         }
@@ -182,7 +228,10 @@ mod tests {
     #[test]
     fn small_job_completes_with_high_ettr() {
         let report = small_report(3);
-        assert!(!report.incidents.is_empty(), "aggressive fault rate must cause incidents");
+        assert!(
+            !report.incidents.is_empty(),
+            "aggressive fault rate must cause incidents"
+        );
         let ettr = report.ettr.cumulative_ettr();
         assert!(ettr > 0.5 && ettr <= 1.0, "ettr = {ettr}");
         assert!(report.final_step > 0);
@@ -218,7 +267,13 @@ mod tests {
             .filter(|i| i.kind == FaultKind::CodeDataAdjustment)
             .count();
         if manual_incidents > 0 {
-            assert_eq!(counts.get(&("AutoFT-HU", "Manual Restart")).copied().unwrap_or(0), manual_incidents);
+            assert_eq!(
+                counts
+                    .get(&("AutoFT-HU", "Manual Restart"))
+                    .copied()
+                    .unwrap_or(0),
+                manual_incidents
+            );
         }
     }
 

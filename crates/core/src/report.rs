@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use byterobust_cluster::{FaultCategory, FaultKind, RootCause};
+use byterobust_incident::IncidentStore;
 use byterobust_recovery::FailoverCost;
 use byterobust_sim::{SimDuration, SimTime};
 
@@ -64,6 +65,10 @@ pub struct JobReport {
     pub loss_series: Vec<SeriesPoint>,
     /// Every incident, in order.
     pub incidents: Vec<IncidentRecord>,
+    /// The incident store: one dossier per incident (flight-recorder capture,
+    /// classification, postmortem source). The incident aggregations below
+    /// are computed as store queries.
+    pub incident_store: IncidentStore,
     /// Final optimizer step reached.
     pub final_step: u64,
     /// Number of code versions deployed over the job (hot updates applied).
@@ -84,43 +89,24 @@ impl JobReport {
         }
         self.mfu_series
             .iter()
-            .map(|p| SeriesPoint { value: p.value / min, ..*p })
+            .map(|p| SeriesPoint {
+                value: p.value / min,
+                ..*p
+            })
             .collect()
     }
 
-    /// Incident counts grouped by (Table 4 mechanism label, category).
+    /// Incident counts grouped by (Table 4 mechanism label, category),
+    /// computed as an incident-store query.
     pub fn resolution_counts(&self) -> BTreeMap<(&'static str, &'static str), usize> {
-        let mut counts = BTreeMap::new();
-        for incident in &self.incidents {
-            let category = match incident.category {
-                FaultCategory::Explicit => "Explicit",
-                FaultCategory::Implicit => "Implicit",
-                FaultCategory::ManualRestart => "Manual Restart",
-            };
-            *counts.entry((incident.mechanism.table4_label(), category)).or_insert(0) += 1;
-        }
-        counts
+        self.incident_store.resolution_counts()
     }
 
     /// Share of incidents resolved by each concrete mechanism (the §4.2
     /// "lesson" percentages: eviction, reattempt, rollback, dual-phase
-    /// replay, ...).
+    /// replay, ...), computed as an incident-store query.
     pub fn mechanism_shares(&self) -> BTreeMap<&'static str, f64> {
-        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
-        for incident in &self.incidents {
-            let name = match incident.mechanism {
-                ResolutionMechanism::ImmediateEviction => "Real-time eviction",
-                ResolutionMechanism::StopTimeEviction => "Stop-time eviction",
-                ResolutionMechanism::Reattempt => "Reattempt",
-                ResolutionMechanism::Rollback => "Rollback",
-                ResolutionMechanism::DualPhaseReplay => "Dual-phase replay",
-                ResolutionMechanism::AnalyzerEviction => "Analyzer eviction",
-                ResolutionMechanism::HotUpdate => "Hot update",
-            };
-            *counts.entry(name).or_insert(0) += 1;
-        }
-        let total = self.incidents.len().max(1) as f64;
-        counts.into_iter().map(|(k, v)| (k, v as f64 / total)).collect()
+        self.incident_store.mechanism_shares()
     }
 
     /// Mean unproductive-time breakdown per incident category (Fig. 3):
@@ -145,48 +131,32 @@ impl JobReport {
     }
 
     /// Mean and max resolution time (Table 6 "ours" columns) per symptom, in
-    /// seconds.
+    /// seconds, computed as an incident-store query.
     pub fn resolution_time_by_symptom(&self) -> BTreeMap<FaultKind, (f64, f64)> {
-        let mut acc: BTreeMap<FaultKind, Vec<f64>> = BTreeMap::new();
-        for incident in &self.incidents {
-            acc.entry(incident.kind).or_default().push(incident.resolution_time().as_secs_f64());
-        }
-        acc.into_iter()
-            .map(|(k, v)| {
-                let mean = v.iter().sum::<f64>() / v.len() as f64;
-                let max = v.iter().copied().fold(0.0, f64::max);
-                (k, (mean, max))
-            })
-            .collect()
+        self.incident_store.resolution_time_by_symptom()
     }
 
-    /// Incident counts per symptom (Table 1-style distribution).
+    /// Incident counts per symptom (Table 1-style distribution), computed as
+    /// an incident-store query.
     pub fn incident_counts_by_symptom(&self) -> BTreeMap<FaultKind, usize> {
-        let mut counts = BTreeMap::new();
-        for incident in &self.incidents {
-            *counts.entry(incident.kind).or_insert(0) += 1;
-        }
-        counts
+        self.incident_store.counts_by_symptom()
     }
 
     /// Total number of machines evicted over the run, and how many of those
-    /// evictions were over-evictions (the §9 false-positive discussion).
+    /// evictions were over-evictions (the §9 false-positive discussion),
+    /// computed as an incident-store query.
     pub fn eviction_stats(&self) -> (usize, usize) {
-        let total = self.incidents.iter().map(|i| i.evicted_count).sum();
-        let over = self
-            .incidents
-            .iter()
-            .filter(|i| i.over_evicted)
-            .map(|i| i.evicted_count)
-            .sum();
-        (total, over)
+        self.incident_store.eviction_stats()
     }
 }
-
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use byterobust_cluster::MachineId;
+    use byterobust_incident::{
+        ClassificationInput, ClassificationMatrix, IncidentCapture, IncidentDossier,
+    };
 
     fn record(kind: FaultKind, mechanism: ResolutionMechanism) -> IncidentRecord {
         IncidentRecord {
@@ -208,21 +178,69 @@ mod tests {
         }
     }
 
+    /// The store dossier corresponding to [`record`], mirroring how the
+    /// lifecycle driver builds both from the same incident.
+    fn dossier(seq: u64, record: &IncidentRecord) -> IncidentDossier {
+        let classification =
+            ClassificationMatrix::byterobust_default().classify(&ClassificationInput {
+                category: record.category,
+                root_cause: record.root_cause,
+                mechanism: record.mechanism,
+                blast_radius: record.evicted_count,
+                over_evicted: record.over_evicted,
+                reproducible: true,
+                downtime: record.cost.total(),
+            });
+        IncidentDossier {
+            seq,
+            at: record.at,
+            kind: record.kind,
+            category: record.category,
+            root_cause: record.root_cause,
+            mechanism: record.mechanism,
+            cost: record.cost,
+            evicted: (0..record.evicted_count)
+                .map(|i| MachineId(i as u32))
+                .collect(),
+            over_evicted: record.over_evicted,
+            resumed_step: 0,
+            classification,
+            capture: IncidentCapture::empty(seq, record.kind, record.at),
+        }
+    }
+
     fn report() -> JobReport {
+        let incidents = vec![
+            record(FaultKind::CudaError, ResolutionMechanism::StopTimeEviction),
+            record(FaultKind::CudaError, ResolutionMechanism::Reattempt),
+            record(FaultKind::JobHang, ResolutionMechanism::AnalyzerEviction),
+            record(
+                FaultKind::CodeDataAdjustment,
+                ResolutionMechanism::HotUpdate,
+            ),
+        ];
+        let mut incident_store = IncidentStore::new();
+        for (i, incident) in incidents.iter().enumerate() {
+            incident_store.insert(dossier(i as u64 + 1, incident));
+        }
         JobReport {
             job_name: "test".to_string(),
             ettr: EttrTracker::new(),
             mfu_series: vec![
-                SeriesPoint { at: SimTime::from_hours(1), step: 10, value: 0.30 },
-                SeriesPoint { at: SimTime::from_hours(2), step: 20, value: 0.45 },
+                SeriesPoint {
+                    at: SimTime::from_hours(1),
+                    step: 10,
+                    value: 0.30,
+                },
+                SeriesPoint {
+                    at: SimTime::from_hours(2),
+                    step: 20,
+                    value: 0.45,
+                },
             ],
             loss_series: vec![],
-            incidents: vec![
-                record(FaultKind::CudaError, ResolutionMechanism::StopTimeEviction),
-                record(FaultKind::CudaError, ResolutionMechanism::Reattempt),
-                record(FaultKind::JobHang, ResolutionMechanism::AnalyzerEviction),
-                record(FaultKind::CodeDataAdjustment, ResolutionMechanism::HotUpdate),
-            ],
+            incidents,
+            incident_store,
             final_step: 1000,
             code_versions_deployed: 3,
         }

@@ -55,7 +55,10 @@ impl BackupAssignment {
                 });
                 peer_of.insert(rank, peer);
             }
-            BackupAssignment { peer_of, cross_group: true }
+            BackupAssignment {
+                peer_of,
+                cross_group: true,
+            }
         } else {
             // Single-dimension parallelism (e.g. ZeRO): back up on the next
             // machine's corresponding rank.
@@ -65,7 +68,10 @@ impl BackupAssignment {
                 let peer = Rank(((rank.index() + ranks_per_machine) % world) as u32);
                 peer_of.insert(rank, peer);
             }
-            BackupAssignment { peer_of, cross_group: false }
+            BackupAssignment {
+                peer_of,
+                cross_group: false,
+            }
         }
     }
 
@@ -75,13 +81,20 @@ impl BackupAssignment {
     /// Panics if the rank was not part of the topology the assignment was
     /// computed for.
     pub fn backup_peer(&self, rank: Rank) -> Rank {
-        *self.peer_of.get(&rank).expect("rank not in backup assignment")
+        *self
+            .peer_of
+            .get(&rank)
+            .expect("rank not in backup assignment")
     }
 
     /// Ranks whose backups are stored on `rank` (the inverse relation).
     pub fn backed_up_on(&self, rank: Rank) -> Vec<Rank> {
-        let mut sources: Vec<Rank> =
-            self.peer_of.iter().filter(|(_, &p)| p == rank).map(|(&s, _)| s).collect();
+        let mut sources: Vec<Rank> = self
+            .peer_of
+            .iter()
+            .filter(|(_, &p)| p == rank)
+            .map(|(&s, _)| s)
+            .collect();
         sources.sort();
         sources
     }
@@ -173,11 +186,18 @@ mod tests {
     fn peer_relation_is_a_permutation() {
         let topo = ParallelTopology::new(ParallelismConfig::fig7_example());
         let assignment = BackupAssignment::compute(&topo);
-        let mut targets: Vec<Rank> =
-            topo.mapping().all_ranks().map(|r| assignment.backup_peer(r)).collect();
+        let mut targets: Vec<Rank> = topo
+            .mapping()
+            .all_ranks()
+            .map(|r| assignment.backup_peer(r))
+            .collect();
         targets.sort();
         targets.dedup();
-        assert_eq!(targets.len(), topo.config().world_size(), "peers must be distinct");
+        assert_eq!(
+            targets.len(),
+            topo.config().world_size(),
+            "peers must be distinct"
+        );
         // Every rank stores exactly one other rank's backup.
         for rank in topo.mapping().all_ranks() {
             assert_eq!(assignment.backed_up_on(rank).len(), 1);

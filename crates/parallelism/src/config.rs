@@ -26,7 +26,13 @@ impl ParallelismConfig {
     /// # Panics
     /// Panics if the configuration is invalid (see [`ParallelismConfig::validate`]).
     pub fn new_3d(tp: usize, pp: usize, dp: usize, gpus_per_machine: usize) -> Self {
-        let cfg = ParallelismConfig { tp, pp, dp, ep: 1, gpus_per_machine };
+        let cfg = ParallelismConfig {
+            tp,
+            pp,
+            dp,
+            ep: 1,
+            gpus_per_machine,
+        };
         cfg.validate().expect("invalid parallelism config");
         cfg
     }
@@ -36,7 +42,13 @@ impl ParallelismConfig {
     /// # Panics
     /// Panics if the configuration is invalid.
     pub fn new_moe(tp: usize, pp: usize, dp: usize, ep: usize, gpus_per_machine: usize) -> Self {
-        let cfg = ParallelismConfig { tp, pp, dp, ep, gpus_per_machine };
+        let cfg = ParallelismConfig {
+            tp,
+            pp,
+            dp,
+            ep,
+            gpus_per_machine,
+        };
         cfg.validate().expect("invalid parallelism config");
         cfg
     }
@@ -97,14 +109,14 @@ impl ParallelismConfig {
         if self.gpus_per_machine == 0 {
             return Err("gpus_per_machine must be >= 1".into());
         }
-        if self.world_size() % self.gpus_per_machine != 0 {
+        if !self.world_size().is_multiple_of(self.gpus_per_machine) {
             return Err(format!(
                 "world size {} is not divisible by gpus_per_machine {}",
                 self.world_size(),
                 self.gpus_per_machine
             ));
         }
-        if self.dp % self.ep != 0 {
+        if !self.dp.is_multiple_of(self.ep) {
             return Err(format!("ep {} must divide dp {}", self.ep, self.dp));
         }
         Ok(())
@@ -115,7 +127,11 @@ impl ParallelismConfig {
     /// backup strategy falls back to neighbouring machines when it is not
     /// (§6.3).
     pub fn is_multi_dimensional(&self) -> bool {
-        [self.tp, self.pp, self.dp].iter().filter(|&&d| d > 1).count() > 1
+        [self.tp, self.pp, self.dp]
+            .iter()
+            .filter(|&&d| d > 1)
+            .count()
+            > 1
     }
 }
 
@@ -140,18 +156,42 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        assert!(ParallelismConfig { tp: 0, pp: 1, dp: 1, ep: 1, gpus_per_machine: 1 }
-            .validate()
-            .is_err());
-        assert!(ParallelismConfig { tp: 2, pp: 2, dp: 2, ep: 3, gpus_per_machine: 2 }
-            .validate()
-            .is_err());
-        assert!(ParallelismConfig { tp: 3, pp: 1, dp: 1, ep: 1, gpus_per_machine: 2 }
-            .validate()
-            .is_err());
-        assert!(ParallelismConfig { tp: 2, pp: 2, dp: 2, ep: 1, gpus_per_machine: 0 }
-            .validate()
-            .is_err());
+        assert!(ParallelismConfig {
+            tp: 0,
+            pp: 1,
+            dp: 1,
+            ep: 1,
+            gpus_per_machine: 1
+        }
+        .validate()
+        .is_err());
+        assert!(ParallelismConfig {
+            tp: 2,
+            pp: 2,
+            dp: 2,
+            ep: 3,
+            gpus_per_machine: 2
+        }
+        .validate()
+        .is_err());
+        assert!(ParallelismConfig {
+            tp: 3,
+            pp: 1,
+            dp: 1,
+            ep: 1,
+            gpus_per_machine: 2
+        }
+        .validate()
+        .is_err());
+        assert!(ParallelismConfig {
+            tp: 2,
+            pp: 2,
+            dp: 2,
+            ep: 1,
+            gpus_per_machine: 0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

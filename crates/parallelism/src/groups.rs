@@ -63,7 +63,9 @@ pub struct ParallelTopology {
 impl ParallelTopology {
     /// Creates the topology for a validated configuration.
     pub fn new(config: ParallelismConfig) -> Self {
-        ParallelTopology { mapping: RankMapping::new(config) }
+        ParallelTopology {
+            mapping: RankMapping::new(config),
+        }
     }
 
     /// The underlying rank mapping.
@@ -137,7 +139,11 @@ impl ParallelTopology {
             }
         }
         ranks.sort();
-        ParallelGroup { kind, index: self.group_index_of(rank, kind), ranks }
+        ParallelGroup {
+            kind,
+            index: self.group_index_of(rank, kind),
+            ranks,
+        }
     }
 
     /// All groups of a kind.
@@ -186,7 +192,10 @@ impl ParallelTopology {
         let mut best: Option<ParallelGroup> = None;
         for &kind in &GroupKind::DENSE {
             let first_idx = self.group_index_of(ranks[0], kind);
-            if ranks.iter().all(|&r| self.group_index_of(r, kind) == first_idx) {
+            if ranks
+                .iter()
+                .all(|&r| self.group_index_of(r, kind) == first_idx)
+            {
                 let group = self.group_of(ranks[0], kind);
                 let better = match &best {
                     None => true,
@@ -264,7 +273,10 @@ mod tests {
                     membership[r.index()] += 1;
                 }
             }
-            assert!(membership.iter().all(|&c| c == 1), "kind {kind:?}: {membership:?}");
+            assert!(
+                membership.iter().all(|&c| c == 1),
+                "kind {kind:?}: {membership:?}"
+            );
         }
     }
 
@@ -281,7 +293,9 @@ mod tests {
         // {6, 14, 22, 30}. Instead, take outliers that genuinely share a PP
         // group: ranks 6, 14, 22, 30.
         let outliers = [Rank(6), Rank(14), Rank(22), Rank(30)];
-        let shared = topo.shared_group_of_ranks(&outliers).expect("must share a group");
+        let shared = topo
+            .shared_group_of_ranks(&outliers)
+            .expect("must share a group");
         assert_eq!(shared.kind, GroupKind::Pipeline);
         assert_eq!(shared.ranks, vec![Rank(6), Rank(14), Rank(22), Rank(30)]);
     }

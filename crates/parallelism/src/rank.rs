@@ -85,7 +85,11 @@ impl RankMapping {
     /// Panics if the rank is out of range.
     pub fn coords(&self, rank: Rank) -> RankCoords {
         let idx = rank.index();
-        assert!(idx < self.world_size(), "{rank} out of range (world size {})", self.world_size());
+        assert!(
+            idx < self.world_size(),
+            "{rank} out of range (world size {})",
+            self.world_size()
+        );
         let tp = idx % self.config.tp;
         let dp = (idx / self.config.tp) % self.config.dp;
         let pp = idx / (self.config.tp * self.config.dp);
@@ -100,7 +104,8 @@ impl RankMapping {
         assert!(coords.tp < self.config.tp, "tp index out of range");
         assert!(coords.dp < self.config.dp, "dp index out of range");
         assert!(coords.pp < self.config.pp, "pp index out of range");
-        let idx = coords.tp + self.config.tp * coords.dp + self.config.tp * self.config.dp * coords.pp;
+        let idx =
+            coords.tp + self.config.tp * coords.dp + self.config.tp * self.config.dp * coords.pp;
         Rank(idx as u32)
     }
 
@@ -116,9 +121,14 @@ impl RankMapping {
     /// # Panics
     /// Panics if the machine index is out of range.
     pub fn ranks_on_machine(&self, machine: MachineId) -> Vec<Rank> {
-        assert!(machine.index() < self.machine_count(), "{machine} out of range");
+        assert!(
+            machine.index() < self.machine_count(),
+            "{machine} out of range"
+        );
         let start = machine.index() * self.config.gpus_per_machine;
-        (start..start + self.config.gpus_per_machine).map(|i| Rank(i as u32)).collect()
+        (start..start + self.config.gpus_per_machine)
+            .map(|i| Rank(i as u32))
+            .collect()
     }
 
     /// Machines hosting any of the given ranks, deduplicated and sorted.
@@ -159,9 +169,18 @@ mod tests {
         // Fig. 7: TP=2, PP=4, DP=4, 2 GPUs/machine. Machine 0 hosts ranks 0,1;
         // machine 4 hosts ranks 8,9; machine 12 hosts ranks 24,25.
         let mapping = RankMapping::new(ParallelismConfig::fig7_example());
-        assert_eq!(mapping.ranks_on_machine(MachineId(0)), vec![Rank(0), Rank(1)]);
-        assert_eq!(mapping.ranks_on_machine(MachineId(4)), vec![Rank(8), Rank(9)]);
-        assert_eq!(mapping.ranks_on_machine(MachineId(12)), vec![Rank(24), Rank(25)]);
+        assert_eq!(
+            mapping.ranks_on_machine(MachineId(0)),
+            vec![Rank(0), Rank(1)]
+        );
+        assert_eq!(
+            mapping.ranks_on_machine(MachineId(4)),
+            vec![Rank(8), Rank(9)]
+        );
+        assert_eq!(
+            mapping.ranks_on_machine(MachineId(12)),
+            vec![Rank(24), Rank(25)]
+        );
         assert_eq!(mapping.machine_of(Rank(9)), MachineId(4));
         assert_eq!(mapping.machine_count(), 16);
     }
@@ -170,10 +189,31 @@ mod tests {
     fn fig7_coords_examples() {
         let mapping = RankMapping::new(ParallelismConfig::fig7_example());
         // Ranks 0,1 are the TP pair of (dp=0, pp=0).
-        assert_eq!(mapping.coords(Rank(0)), RankCoords { tp: 0, dp: 0, pp: 0 });
-        assert_eq!(mapping.coords(Rank(1)), RankCoords { tp: 1, dp: 0, pp: 0 });
+        assert_eq!(
+            mapping.coords(Rank(0)),
+            RankCoords {
+                tp: 0,
+                dp: 0,
+                pp: 0
+            }
+        );
+        assert_eq!(
+            mapping.coords(Rank(1)),
+            RankCoords {
+                tp: 1,
+                dp: 0,
+                pp: 0
+            }
+        );
         // Machine 15 hosts ranks 30,31: last DP replica, last pipeline stage.
-        assert_eq!(mapping.coords(Rank(30)), RankCoords { tp: 0, dp: 3, pp: 3 });
+        assert_eq!(
+            mapping.coords(Rank(30)),
+            RankCoords {
+                tp: 0,
+                dp: 3,
+                pp: 3
+            }
+        );
         assert!(mapping.is_last_pipeline_stage(Rank(30)));
         assert!(mapping.is_first_pipeline_stage(Rank(0)));
     }
@@ -181,8 +221,7 @@ mod tests {
     #[test]
     fn machines_of_ranks_dedups() {
         let mapping = RankMapping::new(ParallelismConfig::fig7_example());
-        let machines =
-            mapping.machines_of_ranks(&[Rank(0), Rank(1), Rank(9), Rank(8), Rank(31)]);
+        let machines = mapping.machines_of_ranks(&[Rank(0), Rank(1), Rank(9), Rank(8), Rank(31)]);
         assert_eq!(machines, vec![MachineId(0), MachineId(4), MachineId(15)]);
     }
 
@@ -195,7 +234,11 @@ mod tests {
 
     #[test]
     fn ep_index_derived_from_dp() {
-        let coords = RankCoords { tp: 0, dp: 5, pp: 0 };
+        let coords = RankCoords {
+            tp: 0,
+            dp: 5,
+            pp: 0,
+        };
         assert_eq!(coords.ep(4), 1);
         assert_eq!(coords.ep(1), 0);
     }

@@ -23,7 +23,10 @@ pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
 
 /// Cumulative distribution function of `Binomial(n, p)` at `k`.
 pub fn binomial_cdf(n: u64, p: f64, k: u64) -> f64 {
-    (0..=k.min(n)).map(|i| binomial_pmf(n, p, i)).sum::<f64>().min(1.0)
+    (0..=k.min(n))
+        .map(|i| binomial_pmf(n, p, i))
+        .sum::<f64>()
+        .min(1.0)
 }
 
 /// Smallest `k` such that `P[X <= k] >= q` for `X ~ Binomial(n, p)`.

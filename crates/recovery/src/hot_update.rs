@@ -107,7 +107,9 @@ impl HotUpdateManager {
     /// Whether any pending non-critical update has exceeded the trigger
     /// window as of `now` (forcing an apply even without a failure).
     pub fn window_expired(&self, now: SimTime) -> bool {
-        self.pending.iter().any(|r| now.saturating_since(r.requested_at) >= self.trigger_window)
+        self.pending
+            .iter()
+            .any(|r| now.saturating_since(r.requested_at) >= self.trigger_window)
     }
 
     /// Whether there is anything to apply.
@@ -123,8 +125,11 @@ impl HotUpdateManager {
         if self.pending.is_empty() {
             return None;
         }
-        let merged_risk =
-            1.0 - self.pending.iter().fold(1.0, |acc, r| acc * (1.0 - r.bug_risk.clamp(0.0, 1.0)));
+        let merged_risk = 1.0
+            - self
+                .pending
+                .iter()
+                .fold(1.0, |acc, r| acc * (1.0 - r.bug_risk.clamp(0.0, 1.0)));
         self.previous = Some(self.current);
         let new_version = self.current.improved(merged_risk);
         for request in self.pending.drain(..) {
@@ -152,7 +157,11 @@ impl HotUpdateManager {
             .map(|h| h.resulting_version)
             .max()
             .unwrap_or(self.current.version);
-        for entry in self.history.iter_mut().filter(|h| h.resulting_version == latest_version) {
+        for entry in self
+            .history
+            .iter_mut()
+            .filter(|h| h.resulting_version == latest_version)
+        {
             entry.rolled_back = true;
         }
         self.current = restored;

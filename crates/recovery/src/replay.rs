@@ -32,7 +32,10 @@ impl ReplayConfig {
     /// offline stress testing" without this; dual-phase replay bounds it to
     /// two phases).
     pub fn new(group_size: usize) -> Self {
-        ReplayConfig { group_size, phase_duration: SimDuration::from_mins(30) }
+        ReplayConfig {
+            group_size,
+            phase_duration: SimDuration::from_mins(30),
+        }
     }
 
     /// The Fig. 6 example: 24 machines, m = 4 (n = 6).
@@ -106,8 +109,12 @@ impl DualPhaseReplay {
         // Phase 1: horizontal grouping by index / m (n groups of m machines).
         let mut horizontal_group = None;
         for a in 0..n {
-            let group: Vec<MachineId> =
-                machines.iter().enumerate().filter(|(i, _)| i / m == a).map(|(_, &id)| id).collect();
+            let group: Vec<MachineId> = machines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i / m == a)
+                .map(|(_, &id)| id)
+                .collect();
             if !group.is_empty() && replay_fails(&group) {
                 horizontal_group = Some(a);
                 break;
@@ -117,8 +124,12 @@ impl DualPhaseReplay {
         // Phase 2: vertical grouping by index mod n (n groups of ~z/n machines).
         let mut vertical_group = None;
         for b in 0..n {
-            let group: Vec<MachineId> =
-                machines.iter().enumerate().filter(|(i, _)| i % n == b).map(|(_, &id)| id).collect();
+            let group: Vec<MachineId> = machines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % n == b)
+                .map(|(_, &id)| id)
+                .collect();
             if !group.is_empty() && replay_fails(&group) {
                 vertical_group = Some(b);
                 break;
@@ -135,7 +146,12 @@ impl DualPhaseReplay {
                 .collect(),
             _ => Vec::new(),
         };
-        ReplayOutcome { suspects, horizontal_group, vertical_group, duration }
+        ReplayOutcome {
+            suspects,
+            horizontal_group,
+            vertical_group,
+            duration,
+        }
     }
 
     /// Convenience wrapper for the harness: a group fails iff it contains any
@@ -180,16 +196,26 @@ mod tests {
         for culprit in 0..24u32 {
             let faulty: HashSet<MachineId> = [MachineId(culprit)].into_iter().collect();
             let outcome = replay.locate_with_ground_truth(&ms, &faulty);
-            assert_eq!(outcome.suspects, vec![MachineId(culprit)], "culprit {culprit}");
+            assert_eq!(
+                outcome.suspects,
+                vec![MachineId(culprit)],
+                "culprit {culprit}"
+            );
         }
     }
 
     #[test]
     fn expected_cardinality_formula() {
         // m=4, z=24 -> n=6, m<=n -> 1.
-        assert_eq!(DualPhaseReplay::new(ReplayConfig::new(4)).expected_suspect_count(24), 1);
+        assert_eq!(
+            DualPhaseReplay::new(ReplayConfig::new(4)).expected_suspect_count(24),
+            1
+        );
         // m=8, z=16 -> n=2, m>n -> ceil(8/2)=4.
-        assert_eq!(DualPhaseReplay::new(ReplayConfig::new(8)).expected_suspect_count(16), 4);
+        assert_eq!(
+            DualPhaseReplay::new(ReplayConfig::new(8)).expected_suspect_count(16),
+            4
+        );
     }
 
     #[test]
@@ -223,7 +249,10 @@ mod tests {
 
     #[test]
     fn duration_is_two_phases() {
-        let config = ReplayConfig { group_size: 4, phase_duration: SimDuration::from_mins(20) };
+        let config = ReplayConfig {
+            group_size: 4,
+            phase_duration: SimDuration::from_mins(20),
+        };
         let replay = DualPhaseReplay::new(config);
         let faulty: HashSet<MachineId> = [MachineId(0)].into_iter().collect();
         let outcome = replay.locate_with_ground_truth(&machines(8), &faulty);

@@ -91,7 +91,9 @@ impl RestartCostModel {
     }
 
     fn scale_factor(&self, exponent: f64) -> f64 {
-        (self.job_machines as f64 / Self::REFERENCE_MACHINES).max(0.01).powf(exponent)
+        (self.job_machines as f64 / Self::REFERENCE_MACHINES)
+            .max(0.01)
+            .powf(exponent)
     }
 
     /// Scheduling time of a full requeue. Grows sub-linearly with scale
@@ -116,8 +118,8 @@ impl RestartCostModel {
         }
         // Pod builds for replacement machines run in parallel; allocation has
         // a small per-machine component.
-        let allocation = self.reschedule_allocation
-            + SimDuration::from_secs(2).mul(evicted.min(64) as u64);
+        let allocation =
+            self.reschedule_allocation + SimDuration::from_secs(2).mul(evicted.min(64) as u64);
         self.reschedule_pod_build.mul_f64(self.scale_factor(0.1)) + allocation
     }
 
@@ -150,7 +152,8 @@ impl RestartCostModel {
         } else {
             // The granted standbys awaken in parallel with rescheduling the
             // shortfall; the slower path dominates.
-            self.standby_awaken.max(self.reschedule_time(grant.shortfall))
+            self.standby_awaken
+                .max(self.reschedule_time(grant.shortfall))
         }
     }
 
@@ -211,7 +214,10 @@ mod tests {
         let reschedule = model.time_for(RestartStrategy::Reschedule, 2);
         let oracle = model.time_for(RestartStrategy::Oracle, 2);
         let warm = model.time_for(RestartStrategy::WarmStandby, 2);
-        assert!(requeue > reschedule, "requeue {requeue} vs reschedule {reschedule}");
+        assert!(
+            requeue > reschedule,
+            "requeue {requeue} vs reschedule {reschedule}"
+        );
         assert!(reschedule > oracle);
         assert!(warm >= oracle);
         assert!(warm < reschedule);

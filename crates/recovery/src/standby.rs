@@ -44,8 +44,12 @@ impl StandbyPoolConfig {
 
     /// The P99 pool size for this configuration.
     pub fn p99_pool_size(&self) -> usize {
-        binomial_quantile(self.job_machines as u64, self.per_machine_failure_prob, self.quantile)
-            .max(1) as usize
+        binomial_quantile(
+            self.job_machines as u64,
+            self.per_machine_failure_prob,
+            self.quantile,
+        )
+        .max(1) as usize
     }
 }
 
@@ -73,7 +77,12 @@ impl WarmStandbyPool {
     /// Creates a pool at its target (P99) size, fully provisioned.
     pub fn new(config: StandbyPoolConfig) -> Self {
         let target = config.p99_pool_size();
-        WarmStandbyPool { config, target_size: target, ready: target, provisioning: Vec::new() }
+        WarmStandbyPool {
+            config,
+            target_size: target,
+            ready: target,
+            provisioning: Vec::new(),
+        }
     }
 
     /// The pool's sizing configuration.
@@ -115,7 +124,9 @@ impl WarmStandbyPool {
         let shortfall = evicted - granted;
         self.ready -= granted;
         // Replenish what was consumed (and any standing deficit vs target).
-        let deficit = self.target_size.saturating_sub(self.ready + self.provisioning.len());
+        let deficit = self
+            .target_size
+            .saturating_sub(self.ready + self.provisioning.len());
         for _ in 0..deficit {
             self.provisioning.push(now + self.config.provision_time);
         }
@@ -145,7 +156,11 @@ mod tests {
     fn pool_sized_at_p99() {
         let p = pool();
         assert_eq!(p.target_size(), p.config().p99_pool_size());
-        assert!(p.target_size() >= 3 && p.target_size() <= 10, "size = {}", p.target_size());
+        assert!(
+            p.target_size() >= 3 && p.target_size() <= 10,
+            "size = {}",
+            p.target_size()
+        );
         assert_eq!(p.ready(), p.target_size());
     }
 

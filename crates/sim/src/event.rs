@@ -55,7 +55,11 @@ impl<E: Eq> Default for EventQueue<E> {
 impl<E: Eq> EventQueue<E> {
     /// Creates an empty queue starting at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current simulated time (the timestamp of the last popped event, or the
@@ -80,7 +84,11 @@ impl<E: Eq> EventQueue<E> {
     /// Panics if `at` is earlier than the current time (events cannot be
     /// scheduled in the past).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule an event in the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past ({at} < {})",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, event });

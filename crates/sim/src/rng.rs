@@ -5,25 +5,65 @@
 //! jitter — is drawn from [`SimRng`]. Using a single ChaCha-based generator
 //! per experiment keeps every run reproducible from its seed, which is how we
 //! regenerate the paper's tables deterministically.
-
-use rand::distr::weighted::WeightedIndex;
-use rand::distr::Distribution;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+//!
+//! The ChaCha12 block function is implemented inline (the build environment
+//! has no registry access for `rand_chacha`); the stream is deterministic per
+//! seed but makes no compatibility claim with any external crate's stream.
 
 use crate::time::SimDuration;
+
+/// The ChaCha constant words ("expand 32-byte k").
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into the 256-bit ChaCha key.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Deterministic random number generator used throughout the workspace.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha12Rng,
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    cursor: usize,
     seed: u64,
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng { inner: ChaCha12Rng::seed_from_u64(seed), seed }
+        let mut expander = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let word = splitmix64(&mut expander);
+            pair[0] = word as u32;
+            pair[1] = (word >> 32) as u32;
+        }
+        SimRng {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            cursor: 16,
+            seed,
+        }
     }
 
     /// The seed this generator was created from.
@@ -31,17 +71,78 @@ impl SimRng {
         self.seed
     }
 
+    /// Runs the ChaCha12 block function for the current counter and refills
+    /// the output buffer.
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let initial = state;
+        for _ in 0..6 {
+            // Double round: column round then diagonal round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial.iter()) {
+            *word = word.wrapping_add(*init);
+        }
+        self.buffer = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Unbiased uniform integer in `[0, span)` (Lemire's multiply-shift with
+    /// rejection).
+    fn bounded_u64(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let wide = (self.next_u64() as u128) * (span as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
     /// Derives an independent child generator; useful for giving each
     /// subsystem (fault injector, scheduler, workload) its own stream while
     /// staying reproducible.
     pub fn fork(&mut self, label: u64) -> SimRng {
-        let child_seed = self.inner.random::<u64>() ^ label.rotate_left(17);
+        let child_seed = self.next_u64() ^ label.rotate_left(17);
         SimRng::new(child_seed)
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -50,7 +151,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "range_u64: lo must be < hi");
-        self.inner.random_range(lo..hi)
+        lo + self.bounded_u64(hi - lo)
     }
 
     /// Uniform index in `[0, len)`.
@@ -59,13 +160,13 @@ impl SimRng {
     /// Panics if `len == 0`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "index: len must be > 0");
-        self.inner.random_range(0..len)
+        self.bounded_u64(len as u64) as usize
     }
 
     /// Uniform float in `[lo, hi)`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "range_f64: lo must be < hi");
-        self.inner.random_range(lo..hi)
+        lo + self.uniform() * (hi - lo)
     }
 
     /// Bernoulli trial with probability `p` of returning `true`.
@@ -123,9 +224,30 @@ impl SimRng {
     /// # Panics
     /// Panics if `weights` is empty or all weights are zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index: weights must be non-empty");
-        let dist = WeightedIndex::new(weights).expect("weighted_index: invalid weights");
-        dist.sample(&mut self.inner)
+        assert!(
+            !weights.is_empty(),
+            "weighted_index: weights must be non-empty"
+        );
+        let total: f64 = weights
+            .iter()
+            .inspect(|w| {
+                assert!(
+                    **w >= 0.0 && w.is_finite(),
+                    "weighted_index: invalid weight"
+                )
+            })
+            .sum();
+        assert!(total > 0.0, "weighted_index: weights must not all be zero");
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        // Float round-off can exhaust the loop; return the last non-zero
+        // weight's index.
+        weights.iter().rposition(|&w| w > 0.0).unwrap()
     }
 
     /// Binomial sample: number of successes in `n` trials with probability `p`.
@@ -183,7 +305,7 @@ impl SimRng {
         assert!(k <= len, "sample_indices: k must be <= len");
         let mut idx: Vec<usize> = (0..len).collect();
         for i in 0..k {
-            let j = self.inner.random_range(i..len);
+            let j = i + self.index(len - i);
             idx.swap(i, j);
         }
         idx.truncate(k);
@@ -193,7 +315,7 @@ impl SimRng {
     /// Shuffles a slice in place.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.random_range(0..=i);
+            let j = self.index(i + 1);
             items.swap(i, j);
         }
     }
@@ -321,6 +443,32 @@ mod tests {
         let mut rng = SimRng::new(31);
         for _ in 0..1_000 {
             assert!(rng.jitter(0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_and_well_spread() {
+        let mut rng = SimRng::new(37);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn bounded_sampling_is_unbiased_at_small_spans() {
+        let mut rng = SimRng::new(41);
+        let mut counts = [0usize; 3];
+        for _ in 0..9_000 {
+            counts[rng.index(3)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 3_000.0).abs() < 300.0, "counts = {counts:?}");
         }
     }
 }

@@ -20,7 +20,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds a sample.
@@ -117,7 +123,10 @@ impl SlidingWindow {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "SlidingWindow capacity must be > 0");
-        SlidingWindow { capacity, values: VecDeque::with_capacity(capacity) }
+        SlidingWindow {
+            capacity,
+            values: VecDeque::with_capacity(capacity),
+        }
     }
 
     /// Adds a sample, evicting the oldest if full.
@@ -164,12 +173,18 @@ impl SlidingWindow {
 
     /// Minimum of the held samples.
     pub fn min(&self) -> Option<f64> {
-        self.values.iter().copied().fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))))
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))))
     }
 
     /// Maximum of the held samples.
     pub fn max(&self) -> Option<f64> {
-        self.values.iter().copied().fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
     }
 
     /// Iterates over held samples from oldest to newest.

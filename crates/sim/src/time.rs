@@ -11,7 +11,9 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// A span of simulated time with millisecond resolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -30,7 +32,10 @@ impl SimDuration {
 
     /// Creates a duration from fractional seconds (rounded to milliseconds).
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs >= 0.0 && secs.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDuration((secs * 1_000.0).round() as u64)
     }
 
@@ -86,7 +91,10 @@ impl SimDuration {
 
     /// Scales the duration by a float factor (rounded to milliseconds).
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor >= 0.0 && factor.is_finite(), "factor must be finite and non-negative");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -163,7 +171,9 @@ impl fmt::Display for SimDuration {
 
 /// An absolute instant on the simulated timeline (milliseconds since job
 /// submission time zero).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -205,7 +215,11 @@ impl SimTime {
     /// # Panics
     /// Panics if `earlier` is later than `self`.
     pub fn since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(earlier.0).expect("SimTime::since: earlier is in the future"))
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: earlier is in the future"),
+        )
     }
 
     /// Saturating elapsed duration since `earlier` (zero if `earlier` is later).
@@ -230,7 +244,11 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.as_millis()).expect("SimTime underflow"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.as_millis())
+                .expect("SimTime underflow"),
+        )
     }
 }
 
@@ -257,7 +275,10 @@ mod tests {
         assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
         assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
         assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1_500));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1_500)
+        );
     }
 
     #[test]

@@ -147,8 +147,11 @@ impl AnomalyDetector {
         if latest.is_nan() {
             return None;
         }
-        let baseline: Vec<f64> =
-            values[..values.len() - 1].iter().copied().filter(|v| !v.is_nan()).collect();
+        let baseline: Vec<f64> = values[..values.len() - 1]
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
         if baseline.is_empty() {
             return None;
         }
@@ -178,7 +181,9 @@ impl AnomalyDetector {
         // Require the series to have started before the window to avoid firing
         // at job start.
         let series = metrics.series(kind);
-        let Some(first) = series.first() else { return false };
+        let Some(first) = series.first() else {
+            return false;
+        };
         if first.at > since {
             return false;
         }
@@ -207,7 +212,9 @@ mod tests {
         let mut store = MetricStore::new();
         populate_healthy(&mut store, 50);
         let detector = AnomalyDetector::new();
-        assert!(detector.check(&store, SimTime::from_secs(50 * 30)).is_empty());
+        assert!(detector
+            .check(&store, SimTime::from_secs(50 * 30))
+            .is_empty());
     }
 
     #[test]
@@ -227,7 +234,9 @@ mod tests {
         store.record(MetricKind::Loss, SimTime::from_secs(20 * 30), 2.5 * 6.0);
         let detector = AnomalyDetector::new();
         let anomalies = detector.check(&store, SimTime::from_secs(20 * 30));
-        assert!(anomalies.iter().any(|a| matches!(a, Anomaly::LossSpike(f) if *f > 5.0)));
+        assert!(anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::LossSpike(f) if *f > 5.0)));
     }
 
     #[test]
@@ -236,7 +245,9 @@ mod tests {
         populate_healthy(&mut store, 20);
         store.record(MetricKind::Loss, SimTime::from_secs(20 * 30), 2.5 * 2.0);
         let detector = AnomalyDetector::new();
-        assert!(detector.check(&store, SimTime::from_secs(20 * 30)).is_empty());
+        assert!(detector
+            .check(&store, SimTime::from_secs(20 * 30))
+            .is_empty());
     }
 
     #[test]
@@ -269,22 +280,32 @@ mod tests {
         store.record(MetricKind::Mfu, SimTime::from_secs(20 * 30), 0.42 * 0.5);
         let detector = AnomalyDetector::new();
         let anomalies = detector.check(&store, SimTime::from_secs(20 * 30));
-        assert!(anomalies.iter().any(|a| matches!(a, Anomaly::MfuDecline(d) if *d > 0.3)));
+        assert!(anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::MfuDecline(d) if *d > 0.3)));
     }
 
     #[test]
     fn grad_norm_spike_detected() {
         let mut store = MetricStore::new();
         populate_healthy(&mut store, 20);
-        store.record(MetricKind::GradNorm, SimTime::from_secs(20 * 30), 1.2 * 10.0);
+        store.record(
+            MetricKind::GradNorm,
+            SimTime::from_secs(20 * 30),
+            1.2 * 10.0,
+        );
         let detector = AnomalyDetector::new();
         let anomalies = detector.check(&store, SimTime::from_secs(20 * 30));
-        assert!(anomalies.iter().any(|a| matches!(a, Anomaly::GradNormSpike(_))));
+        assert!(anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::GradNormSpike(_))));
     }
 
     #[test]
     fn empty_store_is_quiet() {
         let detector = AnomalyDetector::new();
-        assert!(detector.check(&MetricStore::new(), SimTime::from_hours(1)).is_empty());
+        assert!(detector
+            .check(&MetricStore::new(), SimTime::from_hours(1))
+            .is_empty());
     }
 }

@@ -42,7 +42,10 @@ impl EventKind {
     /// Whether the event is network-related (tolerated a few times before
     /// eviction because links/switches often self-recover, §4.1).
     pub fn is_network(self) -> bool {
-        matches!(self, EventKind::NicDown | EventKind::NicFlapping | EventKind::SwitchUnresponsive)
+        matches!(
+            self,
+            EventKind::NicDown | EventKind::NicFlapping | EventKind::SwitchUnresponsive
+        )
     }
 
     /// Whether the event by itself identifies the machine as faulty with high
@@ -138,27 +141,61 @@ mod tests {
     fn push_and_query() {
         let mut log = EventLog::new();
         let m = MachineId(1);
-        log.push(SystemEvent::new(SimTime::from_secs(10), EventKind::NicFlapping, m));
-        log.push(SystemEvent::new(SimTime::from_secs(20), EventKind::NicFlapping, m));
-        log.push(SystemEvent::new(SimTime::from_secs(30), EventKind::XidError, MachineId(2)));
+        log.push(SystemEvent::new(
+            SimTime::from_secs(10),
+            EventKind::NicFlapping,
+            m,
+        ));
+        log.push(SystemEvent::new(
+            SimTime::from_secs(20),
+            EventKind::NicFlapping,
+            m,
+        ));
+        log.push(SystemEvent::new(
+            SimTime::from_secs(30),
+            EventKind::XidError,
+            MachineId(2),
+        ));
         assert_eq!(log.all().len(), 3);
         assert_eq!(
-            log.count_kind_in_window(m, EventKind::NicFlapping, SimTime::ZERO, SimTime::from_secs(60)),
+            log.count_kind_in_window(
+                m,
+                EventKind::NicFlapping,
+                SimTime::ZERO,
+                SimTime::from_secs(60)
+            ),
             2
         );
         assert_eq!(
-            log.count_kind_in_window(m, EventKind::NicFlapping, SimTime::from_secs(15), SimTime::from_secs(60)),
+            log.count_kind_in_window(
+                m,
+                EventKind::NicFlapping,
+                SimTime::from_secs(15),
+                SimTime::from_secs(60)
+            ),
             1
         );
-        assert_eq!(log.for_machine_in_window(MachineId(2), SimTime::ZERO, SimTime::from_secs(60)).len(), 1);
+        assert_eq!(
+            log.for_machine_in_window(MachineId(2), SimTime::ZERO, SimTime::from_secs(60))
+                .len(),
+            1
+        );
     }
 
     #[test]
     #[should_panic(expected = "time order")]
     fn out_of_order_push_panics() {
         let mut log = EventLog::new();
-        log.push(SystemEvent::new(SimTime::from_secs(10), EventKind::OomKill, MachineId(0)));
-        log.push(SystemEvent::new(SimTime::from_secs(5), EventKind::OomKill, MachineId(0)));
+        log.push(SystemEvent::new(
+            SimTime::from_secs(10),
+            EventKind::OomKill,
+            MachineId(0),
+        ));
+        log.push(SystemEvent::new(
+            SimTime::from_secs(5),
+            EventKind::OomKill,
+            MachineId(0),
+        ));
     }
 
     #[test]

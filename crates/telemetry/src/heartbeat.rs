@@ -21,7 +21,10 @@ pub struct HeartbeatTracker {
 impl HeartbeatTracker {
     /// Creates a tracker with the given timeout.
     pub fn new(timeout: SimDuration) -> Self {
-        HeartbeatTracker { timeout, last_seen: HashMap::new() }
+        HeartbeatTracker {
+            timeout,
+            last_seen: HashMap::new(),
+        }
     }
 
     /// The configured timeout.

@@ -39,7 +39,12 @@ pub struct LogLine {
 impl LogLine {
     /// Creates an error-level log line.
     pub fn error(at: SimTime, machine: MachineId, text: &str) -> Self {
-        LogLine { at, machine, level: LogLevel::Error, text: text.to_string() }
+        LogLine {
+            at,
+            machine,
+            level: LogLevel::Error,
+            text: text.to_string(),
+        }
     }
 }
 
@@ -130,8 +135,14 @@ mod tests {
 
     #[test]
     fn user_code_errors_classified() {
-        assert_eq!(classify_log("TypeError: unsupported operand type(s)"), LogClass::UserCode);
-        assert_eq!(classify_log("IndexError: list index out of range"), LogClass::UserCode);
+        assert_eq!(
+            classify_log("TypeError: unsupported operand type(s)"),
+            LogClass::UserCode
+        );
+        assert_eq!(
+            classify_log("IndexError: list index out of range"),
+            LogClass::UserCode
+        );
         assert_eq!(
             classify_log("AssertionError: expected hidden dim 8192, shape mismatch"),
             LogClass::UserCode
@@ -144,7 +155,10 @@ mod tests {
             classify_log("RuntimeError: CUDA error: an illegal memory access was encountered"),
             LogClass::CudaOrGpu
         );
-        assert_eq!(classify_log("dmesg: NVRM: Xid (PCI:0000:4f:00): 63"), LogClass::CudaOrGpu);
+        assert_eq!(
+            classify_log("dmesg: NVRM: Xid (PCI:0000:4f:00): 63"),
+            LogClass::CudaOrGpu
+        );
     }
 
     #[test]
@@ -161,14 +175,26 @@ mod tests {
 
     #[test]
     fn host_and_storage_errors_classified() {
-        assert_eq!(classify_log("Killed: out of memory"), LogClass::HostResource);
-        assert_eq!(classify_log("OSError: No space left on device"), LogClass::HostResource);
-        assert_eq!(classify_log("hdfs.ConnectTimeout: failed to reach namenode"), LogClass::Storage);
+        assert_eq!(
+            classify_log("Killed: out of memory"),
+            LogClass::HostResource
+        );
+        assert_eq!(
+            classify_log("OSError: No space left on device"),
+            LogClass::HostResource
+        );
+        assert_eq!(
+            classify_log("hdfs.ConnectTimeout: failed to reach namenode"),
+            LogClass::Storage
+        );
     }
 
     #[test]
     fn unknown_errors_fall_through() {
-        assert_eq!(classify_log("something inexplicable happened"), LogClass::Unknown);
+        assert_eq!(
+            classify_log("something inexplicable happened"),
+            LogClass::Unknown
+        );
     }
 
     #[test]
@@ -180,7 +206,11 @@ mod tests {
 
     #[test]
     fn log_line_constructor() {
-        let line = LogLine::error(SimTime::from_secs(5), MachineId(3), "CUDA error: device lost");
+        let line = LogLine::error(
+            SimTime::from_secs(5),
+            MachineId(3),
+            "CUDA error: device lost",
+        );
         assert_eq!(line.level, LogLevel::Error);
         assert_eq!(classify_log(&line.text), LogClass::CudaOrGpu);
     }

@@ -63,7 +63,10 @@ impl MetricStore {
     pub fn record(&mut self, kind: MetricKind, at: SimTime, value: f64) {
         let series = self.series.entry(kind).or_default();
         if let Some(last) = series.last() {
-            assert!(at >= last.at, "metric samples must be recorded in time order");
+            assert!(
+                at >= last.at,
+                "metric samples must be recorded in time order"
+            );
         }
         series.push(MetricPoint { at, value });
     }
@@ -81,12 +84,19 @@ impl MetricStore {
     /// The most recent `n` values of a metric, oldest first.
     pub fn last_n(&self, kind: MetricKind, n: usize) -> Vec<f64> {
         let s = self.series(kind);
-        s[s.len().saturating_sub(n)..].iter().map(|p| p.value).collect()
+        s[s.len().saturating_sub(n)..]
+            .iter()
+            .map(|p| p.value)
+            .collect()
     }
 
     /// Samples of a metric within the window `(since, until]`.
     pub fn window(&self, kind: MetricKind, since: SimTime, until: SimTime) -> Vec<MetricPoint> {
-        self.series(kind).iter().filter(|p| p.at > since && p.at <= until).copied().collect()
+        self.series(kind)
+            .iter()
+            .filter(|p| p.at > since && p.at <= until)
+            .copied()
+            .collect()
     }
 
     /// Mean of the metric over the window `(since, until]`, if any samples.
@@ -128,14 +138,26 @@ mod tests {
         for i in 0..20u64 {
             store.record(MetricKind::Mfu, SimTime::from_secs(i * 10), 0.4);
         }
-        let w = store.window(MetricKind::Mfu, SimTime::from_secs(50), SimTime::from_secs(100));
+        let w = store.window(
+            MetricKind::Mfu,
+            SimTime::from_secs(50),
+            SimTime::from_secs(100),
+        );
         assert_eq!(w.len(), 5);
         assert_eq!(
-            store.window_mean(MetricKind::Mfu, SimTime::from_secs(50), SimTime::from_secs(100)),
+            store.window_mean(
+                MetricKind::Mfu,
+                SimTime::from_secs(50),
+                SimTime::from_secs(100)
+            ),
             Some(0.4)
         );
         assert_eq!(
-            store.window_mean(MetricKind::Mfu, SimTime::from_secs(1000), SimTime::from_secs(2000)),
+            store.window_mean(
+                MetricKind::Mfu,
+                SimTime::from_secs(1000),
+                SimTime::from_secs(2000)
+            ),
             None
         );
     }

@@ -28,7 +28,13 @@ pub struct LossModel {
 
 impl Default for LossModel {
     fn default() -> Self {
-        LossModel { floor: 1.7, scale: 9.0, alpha: 0.32, offset: 40.0, noise_amplitude: 0.01 }
+        LossModel {
+            floor: 1.7,
+            scale: 9.0,
+            alpha: 0.32,
+            offset: 40.0,
+            noise_amplitude: 0.01,
+        }
     }
 }
 
@@ -41,7 +47,9 @@ impl LossModel {
     /// Deterministic pseudo-noise in `[-1, 1]` for a step (a cheap hash so
     /// the curve is reproducible without carrying an RNG).
     fn noise(step: u64) -> f64 {
-        let mut x = step.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xDEAD_BEEF);
+        let mut x = step
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xDEAD_BEEF);
         x ^= x >> 33;
         x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
         x ^= x >> 33;

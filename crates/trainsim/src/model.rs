@@ -54,7 +54,10 @@ impl ModelSpec {
         ModelSpec {
             name: "moe-256b".to_string(),
             params_b: 256.0,
-            architecture: Architecture::MoE { experts: 64, active_experts: 8 },
+            architecture: Architecture::MoE {
+                experts: 64,
+                active_experts: 8,
+            },
             layers: 61,
             seq_len: 8_192,
             bytes_per_param: 2,
@@ -84,7 +87,10 @@ impl ModelSpec {
     pub fn active_params(&self) -> f64 {
         match self.architecture {
             Architecture::Dense => self.total_params(),
-            Architecture::MoE { experts, active_experts } => {
+            Architecture::MoE {
+                experts,
+                active_experts,
+            } => {
                 let dense_share = 1.0 / 3.0;
                 let expert_share = 1.0 - dense_share;
                 self.total_params()

@@ -51,9 +51,16 @@ pub enum RuntimeStatus {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum ActiveFault {
     None,
-    Hang { victims: Vec<MachineId> },
-    FailSlow { victims: Vec<MachineId>, slowdown: f64 },
-    Nan { victims: Vec<MachineId> },
+    Hang {
+        victims: Vec<MachineId>,
+    },
+    FailSlow {
+        victims: Vec<MachineId>,
+        slowdown: f64,
+    },
+    Nan {
+        victims: Vec<MachineId>,
+    },
     Crash,
 }
 
@@ -160,7 +167,10 @@ impl TrainingRuntime {
 
     /// Injects a fail-slow condition rooted at the given machines.
     pub fn inject_fail_slow(&mut self, victims: Vec<MachineId>, slowdown: f64) {
-        self.fault = ActiveFault::FailSlow { victims, slowdown: slowdown.max(1.0) };
+        self.fault = ActiveFault::FailSlow {
+            victims,
+            slowdown: slowdown.max(1.0),
+        };
     }
 
     /// Injects NaN losses rooted at the given machines (SDC-style).
@@ -218,7 +228,8 @@ impl TrainingRuntime {
         };
         let effective_throughput = (cluster_throughput / slowdown).clamp(0.01, 1.0);
         let breakdown: StepBreakdown =
-            self.step_model.step(&self.code, effective_throughput, checkpoint_stall);
+            self.step_model
+                .step(&self.code, effective_throughput, checkpoint_stall);
 
         let loss = match &self.fault {
             ActiveFault::Nan { .. } => LossModel::nan_loss(),
@@ -246,7 +257,9 @@ impl TrainingRuntime {
     /// cluster health (used for planning, e.g. ETTR accounting of recomputed
     /// steps).
     pub fn nominal_step_duration(&self) -> SimDuration {
-        self.step_model.step(&self.code, 1.0, SimDuration::ZERO).total()
+        self.step_model
+            .step(&self.code, 1.0, SimDuration::ZERO)
+            .total()
     }
 
     /// The phase every rank is currently in, reflecting the active fault.
@@ -327,7 +340,7 @@ impl TrainingRuntime {
             // P2P directions).
             let trainer = if *phase == TrainPhase::PipelineComm {
                 let coords = mapping.coords(*rank);
-                if coords.pp % 2 == 0 {
+                if coords.pp.is_multiple_of(2) {
                     self.tracer.trainer_stack_pp_recv(*rank)
                 } else {
                     self.tracer.trainer_stack(*rank, TrainPhase::PipelineComm)

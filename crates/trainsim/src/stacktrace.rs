@@ -56,7 +56,11 @@ pub struct StackFrame {
 impl StackFrame {
     /// Creates a frame.
     pub fn new(func: &str, file: &str, line: u32) -> Self {
-        StackFrame { func: func.to_string(), file: file.to_string(), line }
+        StackFrame {
+            func: func.to_string(),
+            file: file.to_string(),
+            line,
+        }
     }
 }
 
@@ -123,12 +127,28 @@ impl StackTraceGenerator {
         let mut frames = Self::trainer_prefix();
         match phase {
             TrainPhase::DataLoading => {
-                frames.push(StackFrame::new("get_batch", "my_megatron/data/data_iterator.py", 88));
-                frames.push(StackFrame::new("next", "torch/utils/data/dataloader.py", 631));
-                frames.push(StackFrame::new("_poll", "multiprocessing/connection.py", 257));
+                frames.push(StackFrame::new(
+                    "get_batch",
+                    "my_megatron/data/data_iterator.py",
+                    88,
+                ));
+                frames.push(StackFrame::new(
+                    "next",
+                    "torch/utils/data/dataloader.py",
+                    631,
+                ));
+                frames.push(StackFrame::new(
+                    "_poll",
+                    "multiprocessing/connection.py",
+                    257,
+                ));
             }
             TrainPhase::Forward => {
-                frames.push(StackFrame::new("forward_step", "my_megatron/schedules.py", 193));
+                frames.push(StackFrame::new(
+                    "forward_step",
+                    "my_megatron/schedules.py",
+                    193,
+                ));
                 frames.push(StackFrame::new(
                     "forward",
                     "my_megatron/model/transformer_block.py",
@@ -154,7 +174,11 @@ impl StackTraceGenerator {
                     "my_megatron/communicate.py",
                     474,
                 ));
-                frames.push(StackFrame::new("isend", "torch/distributed/distributed_c10d.py", 1529));
+                frames.push(StackFrame::new(
+                    "isend",
+                    "torch/distributed/distributed_c10d.py",
+                    1529,
+                ));
             }
             TrainPhase::GradReduceScatter => {
                 frames.push(StackFrame::new(
@@ -181,15 +205,31 @@ impl StackTraceGenerator {
                 ));
             }
             TrainPhase::OptimizerStep => {
-                frames.push(StackFrame::new("step", "my_megatron/optimizer/distrib_optimizer.py", 1502));
+                frames.push(StackFrame::new(
+                    "step",
+                    "my_megatron/optimizer/distrib_optimizer.py",
+                    1502,
+                ));
                 frames.push(StackFrame::new("adamw", "torch/optim/adamw.py", 339));
             }
             TrainPhase::Checkpoint => {
-                frames.push(StackFrame::new("save_checkpoint", "my_megatron/checkpointing.py", 310));
-                frames.push(StackFrame::new("d2h_copy", "byte_checkpoint/async_saver.py", 122));
+                frames.push(StackFrame::new(
+                    "save_checkpoint",
+                    "my_megatron/checkpointing.py",
+                    310,
+                ));
+                frames.push(StackFrame::new(
+                    "d2h_copy",
+                    "byte_checkpoint/async_saver.py",
+                    122,
+                ));
             }
             TrainPhase::Evaluation => {
-                frames.push(StackFrame::new("evaluate", "my_megatron/evaluation.py", 154));
+                frames.push(StackFrame::new(
+                    "evaluate",
+                    "my_megatron/evaluation.py",
+                    154,
+                ));
                 frames.push(StackFrame::new(
                     "batch_isend_irecv",
                     "torch/distributed/distributed_c10d.py",
@@ -197,10 +237,18 @@ impl StackTraceGenerator {
                 ));
             }
             TrainPhase::Idle => {
-                frames.push(StackFrame::new("barrier", "torch/distributed/distributed_c10d.py", 3685));
+                frames.push(StackFrame::new(
+                    "barrier",
+                    "torch/distributed/distributed_c10d.py",
+                    3685,
+                ));
             }
         }
-        StackTrace { rank, process: ProcessKind::Trainer, frames }
+        StackTrace {
+            rank,
+            process: ProcessKind::Trainer,
+            frames,
+        }
     }
 
     /// Variant of the pipeline-communication stack blocked in `irecv` instead
@@ -212,8 +260,16 @@ impl StackTraceGenerator {
             "my_megatron/communicate.py",
             474,
         ));
-        frames.push(StackFrame::new("irecv", "torch/distributed/distributed_c10d.py", 1569));
-        StackTrace { rank, process: ProcessKind::Trainer, frames }
+        frames.push(StackFrame::new(
+            "irecv",
+            "torch/distributed/distributed_c10d.py",
+            1569,
+        ));
+        StackTrace {
+            rank,
+            process: ProcessKind::Trainer,
+            frames,
+        }
     }
 
     /// Stack of a data-loader worker (normally blocked waiting for work).
@@ -228,18 +284,38 @@ impl StackTraceGenerator {
         } else {
             frames.push(StackFrame::new("get", "multiprocessing/queues.py", 103));
         }
-        StackTrace { rank, process: ProcessKind::DataLoader, frames }
+        StackTrace {
+            rank,
+            process: ProcessKind::DataLoader,
+            frames,
+        }
     }
 
     /// Stack of the asynchronous checkpoint worker.
     pub fn checkpoint_worker_stack(&self, rank: Rank, serializing: bool) -> StackTrace {
-        let mut frames = vec![StackFrame::new("ckpt_worker_loop", "byte_checkpoint/io_worker.py", 77)];
+        let mut frames = vec![StackFrame::new(
+            "ckpt_worker_loop",
+            "byte_checkpoint/io_worker.py",
+            77,
+        )];
         if serializing {
-            frames.push(StackFrame::new("serialize_shard", "byte_checkpoint/serializer.py", 141));
+            frames.push(StackFrame::new(
+                "serialize_shard",
+                "byte_checkpoint/serializer.py",
+                141,
+            ));
         } else {
-            frames.push(StackFrame::new("wait_for_task", "byte_checkpoint/io_worker.py", 93));
+            frames.push(StackFrame::new(
+                "wait_for_task",
+                "byte_checkpoint/io_worker.py",
+                93,
+            ));
         }
-        StackTrace { rank, process: ProcessKind::CheckpointWorker, frames }
+        StackTrace {
+            rank,
+            process: ProcessKind::CheckpointWorker,
+            frames,
+        }
     }
 
     /// Stack of the robust agent daemon (always in its poll loop).
@@ -287,11 +363,17 @@ mod tests {
             TrainPhase::Evaluation,
             TrainPhase::Idle,
         ];
-        let fingerprints: Vec<String> =
-            phases.iter().map(|&p| g.trainer_stack(Rank(0), p).fingerprint()).collect();
+        let fingerprints: Vec<String> = phases
+            .iter()
+            .map(|&p| g.trainer_stack(Rank(0), p).fingerprint())
+            .collect();
         for i in 0..fingerprints.len() {
             for j in i + 1..fingerprints.len() {
-                assert_ne!(fingerprints[i], fingerprints[j], "{:?} vs {:?}", phases[i], phases[j]);
+                assert_ne!(
+                    fingerprints[i], fingerprints[j],
+                    "{:?} vs {:?}",
+                    phases[i], phases[j]
+                );
             }
         }
     }
@@ -299,27 +381,37 @@ mod tests {
     #[test]
     fn fig7_frames_present() {
         let g = generator();
-        let grad_sync = g.trainer_stack(Rank(0), TrainPhase::GradReduceScatter).fingerprint();
-        assert!(grad_sync.contains("start_grad_sync (my_megatron/distributed/param_grad_buffer.py:597)"));
-        assert!(grad_sync.contains("_reduce_scatter_tensor (torch/distributed/distributed_c10d.py:3379)"));
+        let grad_sync = g
+            .trainer_stack(Rank(0), TrainPhase::GradReduceScatter)
+            .fingerprint();
+        assert!(grad_sync
+            .contains("start_grad_sync (my_megatron/distributed/param_grad_buffer.py:597)"));
+        assert!(grad_sync
+            .contains("_reduce_scatter_tensor (torch/distributed/distributed_c10d.py:3379)"));
 
-        let send = g.trainer_stack(Rank(14), TrainPhase::PipelineComm).fingerprint();
+        let send = g
+            .trainer_stack(Rank(14), TrainPhase::PipelineComm)
+            .fingerprint();
         assert!(send.contains("send_backward_recv_backward (my_megatron/communicate.py:474)"));
         assert!(send.contains("isend (torch/distributed/distributed_c10d.py:1529)"));
 
         let recv = g.trainer_stack_pp_recv(Rank(12)).fingerprint();
         assert!(recv.contains("irecv (torch/distributed/distributed_c10d.py:1569)"));
 
-        let backward = g.trainer_stack(Rank(30), TrainPhase::Backward).fingerprint();
+        let backward = g
+            .trainer_stack(Rank(30), TrainPhase::Backward)
+            .fingerprint();
         assert!(backward.contains("backward (my_megatron/large_centralized_op_v8.py:6770)"));
-        assert!(backward.contains("all_gather_into_tensor (torch/distributed/distributed_c10d.py:2898)"));
+        assert!(backward
+            .contains("all_gather_into_tensor (torch/distributed/distributed_c10d.py:2898)"));
     }
 
     #[test]
     fn isend_and_irecv_stacks_differ() {
         let g = generator();
         assert_ne!(
-            g.trainer_stack(Rank(0), TrainPhase::PipelineComm).fingerprint(),
+            g.trainer_stack(Rank(0), TrainPhase::PipelineComm)
+                .fingerprint(),
             g.trainer_stack_pp_recv(Rank(0)).fingerprint()
         );
     }

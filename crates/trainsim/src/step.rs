@@ -63,7 +63,12 @@ impl CodeVersion {
     /// (§8.1.3: "we initially deployed a naive version of the pretraining
     /// code ... then continuously tuned and optimized").
     pub fn initial() -> Self {
-        CodeVersion { version: 0, kernel_efficiency: 0.42, comm_overlap: 0.30, bug_risk: 0.05 }
+        CodeVersion {
+            version: 0,
+            kernel_efficiency: 0.42,
+            comm_overlap: 0.30,
+            bug_risk: 0.05,
+        }
     }
 
     /// The next version after an engineering improvement: better kernels and
@@ -169,8 +174,7 @@ impl StepModel {
     ) -> StepBreakdown {
         let throughput = cluster_throughput.clamp(0.01, 1.0);
         let ideal = self.ideal_compute();
-        let compute =
-            ideal.mul_f64(1.0 / (code.kernel_efficiency.clamp(0.05, 0.95) * throughput));
+        let compute = ideal.mul_f64(1.0 / (code.kernel_efficiency.clamp(0.05, 0.95) * throughput));
 
         // Pipeline bubble + P2P transfers: proportional to (pp - 1) / micro_batches.
         let pp = self.job.parallelism.pp as f64;
@@ -187,7 +191,7 @@ impl StepModel {
             0.0
         };
         let per_machine_bw = self.job.hardware.rdma_bandwidth_gbps * 1e9 / 8.0; // bits→bytes... see note
-        // rdma_bandwidth_gbps is given in GB/s already; use it directly.
+                                                                                // rdma_bandwidth_gbps is given in GB/s already; use it directly.
         let per_machine_bytes_per_s = self.job.hardware.rdma_bandwidth_gbps * 1e9;
         let _ = per_machine_bw;
         let ranks_per_machine = self.job.parallelism.gpus_per_machine as f64;

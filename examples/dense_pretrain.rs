@@ -10,7 +10,10 @@
 use byterobust::prelude::*;
 
 fn main() {
-    let days: u64 = std::env::var("DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(90);
+    let days: u64 = std::env::var("DAYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(90);
     let mut config = JobConfig::production_dense_three_months();
     config.duration = SimDuration::from_days(days);
 
@@ -27,7 +30,10 @@ fn main() {
     println!("incidents: {}", report.incidents.len());
     println!("cumulative ETTR: {:.3}", report.ettr.cumulative_ettr());
     println!("unproductive time: {}", report.ettr.unproductive_time());
-    println!("longest single outage: {}", report.ettr.longest_unproductive());
+    println!(
+        "longest single outage: {}",
+        report.ettr.longest_unproductive()
+    );
     println!("final step: {}", report.final_step);
 
     println!("\n== incidents by mechanism (Table 4 view) ==");

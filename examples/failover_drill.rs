@@ -34,7 +34,11 @@ fn drill_hang_aggregation() {
 
     let stacks = runtime.capture_stacks();
     let aggregation = AggregationResult::aggregate(&stacks);
-    println!("captured {} stacks, {} distinct clusters", stacks.len(), aggregation.clusters.len());
+    println!(
+        "captured {} stacks, {} distinct clusters",
+        stacks.len(),
+        aggregation.clusters.len()
+    );
     for cluster in aggregation.outlier_clusters() {
         println!(
             "  outlier cluster ({} ranks): {}",
@@ -42,7 +46,8 @@ fn drill_hang_aggregation() {
             cluster.fingerprint.lines().last().unwrap_or("")
         );
     }
-    let decision = EvictionDecision::from_outliers(runtime.topology(), &aggregation.outlier_ranks());
+    let decision =
+        EvictionDecision::from_outliers(runtime.topology(), &aggregation.outlier_ranks());
     println!(
         "over-evicting {:?} group: machines {:?} (injected culprit was {victim})\n",
         decision.shared_group, decision.machines
@@ -88,7 +93,9 @@ fn drill_backup_survives_over_eviction() {
     let pp_group = topology.group_of(Rank(0), GroupKind::Pipeline);
     let evicted = topology.machines_of_group(&pp_group);
     println!("evicting the whole PP group of rank-0: machines {evicted:?}");
-    let rp = ckpt.best_recovery_point(&evicted).expect("backups must survive");
+    let rp = ckpt
+        .best_recovery_point(&evicted)
+        .expect("backups must survive");
     println!(
         "recovered from {:?} at step {} (load time {}), instead of falling back to remote storage",
         rp.tier, rp.step, rp.load_time

@@ -11,7 +11,10 @@
 use byterobust::prelude::*;
 
 fn main() {
-    let days: u64 = std::env::var("DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+    let days: u64 = std::env::var("DAYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
     let mut config = JobConfig::production_moe_one_month();
     config.duration = SimDuration::from_days(days);
 
@@ -50,6 +53,9 @@ fn main() {
         println!("  step {:>10}  {:>5.2}x  {}", point.step, point.value, bar);
     }
     if let Some(last) = rel.last() {
-        println!("\nfinal MFU improvement over the initial run: {:.2}x", last.value);
+        println!(
+            "\nfinal MFU improvement over the initial run: {:.2}x",
+            last.value
+        );
     }
 }

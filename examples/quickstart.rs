@@ -35,9 +35,15 @@ fn main() {
     }
 
     println!("\nfinal optimizer step reached: {}", report.final_step);
-    println!("code versions deployed via hot update: {}", report.code_versions_deployed);
+    println!(
+        "code versions deployed via hot update: {}",
+        report.code_versions_deployed
+    );
     println!("cumulative ETTR: {:.3}", report.ettr.cumulative_ettr());
-    println!("total unproductive time: {}", report.ettr.unproductive_time());
+    println!(
+        "total unproductive time: {}",
+        report.ettr.unproductive_time()
+    );
     let (evicted, over) = report.eviction_stats();
     println!("machines evicted: {evicted} (of which over-evicted: {over})");
 }

@@ -37,8 +37,10 @@ fn every_incident_is_attributed_and_charged() {
 #[test]
 fn manual_restarts_never_reschedule_machines() {
     let report = run_small(3);
-    for incident in
-        report.incidents.iter().filter(|i| i.category == FaultCategory::ManualRestart)
+    for incident in report
+        .incidents
+        .iter()
+        .filter(|i| i.category == FaultCategory::ManualRestart)
     {
         assert_eq!(incident.mechanism.table4_label(), "AutoFT-HU");
         assert_eq!(incident.evicted_count, 0);
@@ -55,8 +57,10 @@ fn implicit_failures_are_resolved_without_human_intervention() {
     let mut implicit_seen = 0;
     for seed in 4..10 {
         let report = run_small(seed);
-        for incident in
-            report.incidents.iter().filter(|i| i.category == FaultCategory::Implicit)
+        for incident in report
+            .incidents
+            .iter()
+            .filter(|i| i.category == FaultCategory::Implicit)
         {
             implicit_seen += 1;
             assert!(
@@ -74,7 +78,10 @@ fn implicit_failures_are_resolved_without_human_intervention() {
             );
         }
     }
-    assert!(implicit_seen > 0, "expected at least one implicit failure across seeds");
+    assert!(
+        implicit_seen > 0,
+        "expected at least one implicit failure across seeds"
+    );
 }
 
 #[test]
@@ -103,7 +110,10 @@ fn same_seed_reproduces_the_same_run_bit_for_bit() {
         assert_eq!(x.cost.total(), y.cost.total());
     }
     assert_eq!(a.final_step, b.final_step);
-    assert_eq!(a.ettr.cumulative_ettr().to_bits(), b.ettr.cumulative_ettr().to_bits());
+    assert_eq!(
+        a.ettr.cumulative_ettr().to_bits(),
+        b.ettr.cumulative_ettr().to_bits()
+    );
 }
 
 #[test]
@@ -118,7 +128,10 @@ fn moe_jobs_see_more_rollbacks_and_restarts_than_dense() {
     let dense = JobLifecycle::new(dense_cfg, 17).run();
     let moe = JobLifecycle::new(moe_cfg, 17).run();
     let manual = |r: &JobReport| {
-        r.incidents.iter().filter(|i| i.category == FaultCategory::ManualRestart).count()
+        r.incidents
+            .iter()
+            .filter(|i| i.category == FaultCategory::ManualRestart)
+            .count()
     };
     assert!(
         manual(&moe) >= manual(&dense),

@@ -1,77 +1,105 @@
 //! Property-based tests over the core data structures and invariants:
 //! parallel-group topology, backup placement, dual-phase replay, binomial
 //! standby sizing, ETTR accounting and the fault injector.
+//!
+//! The checks are written property-style — each test enumerates a
+//! deterministic family of inputs (small parallelism configurations, replay
+//! geometries, seeded random segment lists) and asserts the invariant over
+//! every member. No external property-testing framework is required, and the
+//! enumeration is exhaustive-or-seeded rather than sampled, so failures are
+//! perfectly reproducible.
 
 use std::collections::HashSet;
-
-use proptest::prelude::*;
 
 use byterobust::prelude::*;
 use byterobust::recovery::binomial::{binomial_cdf, binomial_pmf};
 
-/// Strategy producing valid small 3D parallelism configurations whose world
-/// size is divisible by the GPUs-per-machine packing.
-fn parallelism_strategy() -> impl Strategy<Value = ParallelismConfig> {
-    (1usize..=4, 1usize..=4, 1usize..=8, 1usize..=3).prop_filter_map(
-        "world size must be divisible by gpus/machine and span >= 2 machines",
-        |(tp, pp, dp, gpm_exp)| {
-            let gpus_per_machine = 1 << gpm_exp; // 2, 4, 8
-            let cfg = ParallelismConfig { tp, pp, dp, ep: 1, gpus_per_machine };
-            // Peer backup needs at least two machines to be meaningful.
-            (cfg.validate().is_ok() && cfg.machines() >= 2).then_some(cfg)
-        },
-    )
+/// Every valid small 3D parallelism configuration whose world size is
+/// divisible by the GPUs-per-machine packing and spans at least two machines
+/// (peer backup needs a second machine to be meaningful).
+fn small_parallelism_configs() -> Vec<ParallelismConfig> {
+    let mut configs = Vec::new();
+    for tp in 1..=4 {
+        for pp in 1..=4 {
+            for dp in 1..=8 {
+                for gpus_per_machine in [2, 4, 8] {
+                    let cfg = ParallelismConfig {
+                        tp,
+                        pp,
+                        dp,
+                        ep: 1,
+                        gpus_per_machine,
+                    };
+                    if cfg.validate().is_ok() && cfg.machines() >= 2 {
+                        configs.push(cfg);
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        configs.len() > 20,
+        "expected a rich config family, got {}",
+        configs.len()
+    );
+    configs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every rank belongs to exactly one group of each kind, and the groups of
-    /// one kind tile the whole world.
-    #[test]
-    fn parallel_groups_partition_the_world(cfg in parallelism_strategy()) {
+/// Every rank belongs to exactly one group of each kind, and the groups of
+/// one kind tile the whole world.
+#[test]
+fn parallel_groups_partition_the_world() {
+    for cfg in small_parallelism_configs() {
         let topo = ParallelTopology::new(cfg);
         for kind in GroupKind::DENSE {
             let groups = topo.all_groups(kind);
             let mut seen = vec![0u32; cfg.world_size()];
             for group in &groups {
-                prop_assert_eq!(group.size(), topo.group_size(kind));
+                assert_eq!(group.size(), topo.group_size(kind), "cfg: {cfg:?}");
                 for rank in &group.ranks {
                     seen[rank.index()] += 1;
                 }
             }
-            prop_assert!(seen.iter().all(|&c| c == 1));
+            assert!(seen.iter().all(|&c| c == 1), "cfg: {cfg:?}, kind: {kind:?}");
         }
     }
+}
 
-    /// Rank coordinates round-trip through the mapping.
-    #[test]
-    fn rank_coords_roundtrip(cfg in parallelism_strategy()) {
+/// Rank coordinates round-trip through the mapping.
+#[test]
+fn rank_coords_roundtrip() {
+    for cfg in small_parallelism_configs() {
         let mapping = RankMapping::new(cfg);
         for rank in mapping.all_ranks() {
-            prop_assert_eq!(mapping.rank_at(mapping.coords(rank)), rank);
+            assert_eq!(mapping.rank_at(mapping.coords(rank)), rank, "cfg: {cfg:?}");
         }
     }
+}
 
-    /// For genuinely multi-dimensional configurations, backup peers never
-    /// share any TP/PP/DP group with their source, the relation is a
-    /// permutation, and single-group over-eviction never loses both copies.
-    #[test]
-    fn backup_assignment_invariants(cfg in parallelism_strategy()) {
+/// For genuinely multi-dimensional configurations, backup peers never share
+/// any TP/PP/DP group with their source, the relation is a permutation, and
+/// single-group over-eviction never loses both copies.
+#[test]
+fn backup_assignment_invariants() {
+    for cfg in small_parallelism_configs() {
         let topo = ParallelTopology::new(cfg);
         let assignment = BackupAssignment::compute(&topo);
         let mut targets = HashSet::new();
         for rank in topo.mapping().all_ranks() {
             let peer = assignment.backup_peer(rank);
-            prop_assert_ne!(rank, peer);
+            assert_ne!(rank, peer, "cfg: {cfg:?}");
             targets.insert(peer);
             if cfg.is_multi_dimensional() {
-                prop_assert!(!topo.share_any_group(rank, peer));
+                assert!(!topo.share_any_group(rank, peer), "cfg: {cfg:?}");
             } else {
-                prop_assert_ne!(topo.mapping().machine_of(rank), topo.mapping().machine_of(peer));
+                assert_ne!(
+                    topo.mapping().machine_of(rank),
+                    topo.mapping().machine_of(peer),
+                    "cfg: {cfg:?}"
+                );
             }
         }
-        prop_assert_eq!(targets.len(), cfg.world_size());
+        assert_eq!(targets.len(), cfg.world_size(), "cfg: {cfg:?}");
         // Group-eviction survivability is the paper's 3D-parallel setting
         // (TP, PP and DP all non-trivial, as in Table 5), with the usual
         // machine alignment: each machine hosts whole tensor-parallel groups
@@ -93,76 +121,103 @@ proptest! {
                     // degenerate configs) there is nowhere left to hold
                     // backups and the property is vacuous.
                     if machines.len() < topo.mapping().machine_count() {
-                        prop_assert!(assignment.survives_eviction(&topo, &machines));
+                        assert!(
+                            assignment.survives_eviction(&topo, &machines),
+                            "cfg: {cfg:?}, kind: {kind:?}"
+                        );
                     }
                 }
             }
         }
     }
+}
 
-    /// Dual-phase replay always includes the true culprit in its suspect set
-    /// and never returns more suspects than Algorithm 1's cardinality bound.
-    #[test]
-    fn dual_phase_replay_isolates_culprit(
-        machines in 8usize..=96,
-        group_size in 2usize..=8,
-        culprit_seed in any::<u64>(),
-    ) {
-        let z = (machines / group_size) * group_size;
-        prop_assume!(z >= group_size * 2);
-        let ids: Vec<MachineId> = (0..z as u32).map(MachineId).collect();
-        let culprit = MachineId((culprit_seed % z as u64) as u32);
-        let faulty: HashSet<MachineId> = [culprit].into_iter().collect();
-        let replay = DualPhaseReplay::new(ReplayConfig::new(group_size));
-        let outcome = replay.locate_with_ground_truth(&ids, &faulty);
-        prop_assert!(outcome.suspects.contains(&culprit));
-        prop_assert!(outcome.suspects.len() <= replay.expected_suspect_count(z).max(group_size));
+/// Dual-phase replay always includes the true culprit in its suspect set and
+/// never returns more suspects than Algorithm 1's cardinality bound.
+#[test]
+fn dual_phase_replay_isolates_culprit() {
+    for machines in [8usize, 12, 24, 48, 96] {
+        for group_size in 2usize..=8 {
+            let z = (machines / group_size) * group_size;
+            if z < group_size * 2 {
+                continue;
+            }
+            let ids: Vec<MachineId> = (0..z as u32).map(MachineId).collect();
+            let replay = DualPhaseReplay::new(ReplayConfig::new(group_size));
+            // Sweep every culprit position (the proptest original sampled
+            // positions; the space is small enough to cover exhaustively).
+            for culprit_index in 0..z as u32 {
+                let culprit = MachineId(culprit_index);
+                let faulty: HashSet<MachineId> = [culprit].into_iter().collect();
+                let outcome = replay.locate_with_ground_truth(&ids, &faulty);
+                assert!(
+                    outcome.suspects.contains(&culprit),
+                    "z={z}, group_size={group_size}, culprit={culprit}"
+                );
+                assert!(
+                    outcome.suspects.len() <= replay.expected_suspect_count(z).max(group_size),
+                    "z={z}, group_size={group_size}, suspects={:?}",
+                    outcome.suspects
+                );
+            }
+        }
     }
+}
 
-    /// The binomial helpers behave like a probability distribution and the
-    /// quantile is monotone, so the warm-standby P99 sizing is well defined.
-    #[test]
-    fn binomial_distribution_sanity(n in 1u64..600, p in 0.0f64..0.2) {
-        let total: f64 = (0..=n).map(|k| binomial_pmf(n, p, k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
-        prop_assert!(binomial_cdf(n, p, n) > 1.0 - 1e-6);
-        let q90 = binomial_quantile(n, p, 0.90);
-        let q99 = binomial_quantile(n, p, 0.99);
-        prop_assert!(q90 <= q99);
-        prop_assert!(q99 <= n);
+/// The binomial helpers behave like a probability distribution and the
+/// quantile is monotone, so the warm-standby P99 sizing is well defined.
+#[test]
+fn binomial_distribution_sanity() {
+    for n in [1u64, 2, 7, 16, 64, 128, 300, 599] {
+        for p in [0.0f64, 0.001, 0.01, 0.05, 0.1, 0.199] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, p, k)).sum();
+            assert!((total - 1.0).abs() < 1e-6, "n={n}, p={p}, total={total}");
+            assert!(binomial_cdf(n, p, n) > 1.0 - 1e-6, "n={n}, p={p}");
+            let q90 = binomial_quantile(n, p, 0.90);
+            let q99 = binomial_quantile(n, p, 0.99);
+            assert!(q90 <= q99, "n={n}, p={p}");
+            assert!(q99 <= n, "n={n}, p={p}");
+        }
     }
+}
 
-    /// ETTR is always in [0, 1], and adding unproductive time never increases
-    /// it.
-    #[test]
-    fn ettr_is_bounded_and_monotone(
-        segments in prop::collection::vec((1u64..5_000, any::<bool>()), 1..60)
-    ) {
+/// ETTR is always in [0, 1], and adding unproductive time never increases it.
+#[test]
+fn ettr_is_bounded_and_monotone() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::new(seed);
+        let segment_count = 1 + rng.index(60);
         let mut tracker = EttrTracker::new();
         let mut previous = 1.0f64;
-        for (secs, productive) in segments {
-            let duration = SimDuration::from_secs(secs);
-            if productive {
+        for _ in 0..segment_count {
+            let duration = SimDuration::from_secs(rng.range_u64(1, 5_000));
+            if rng.chance(0.5) {
                 tracker.record_productive(duration);
             } else {
                 tracker.record_unproductive(duration);
-                prop_assert!(tracker.cumulative_ettr() <= previous + 1e-12);
+                assert!(
+                    tracker.cumulative_ettr() <= previous + 1e-12,
+                    "seed: {seed}"
+                );
             }
             let ettr = tracker.cumulative_ettr();
-            prop_assert!((0.0..=1.0).contains(&ettr));
+            assert!((0.0..=1.0).contains(&ettr), "seed: {seed}, ettr: {ettr}");
             previous = ettr;
         }
-        prop_assert_eq!(
+        assert_eq!(
             tracker.total_time(),
-            tracker.productive_time() + tracker.unproductive_time()
+            tracker.productive_time() + tracker.unproductive_time(),
+            "seed: {seed}"
         );
     }
+}
 
-    /// The fault injector produces time-ordered events whose culprits are
-    /// always valid machine indices, and user-code faults never blame
-    /// machines.
-    #[test]
-    fn fault_injector_events_are_well_formed(seed in any::<u64>(), machines in 4usize..200) {
+/// The fault injector produces time-ordered events whose culprits are always
+/// valid machine indices, and user-code faults never blame machines.
+#[test]
+fn fault_injector_events_are_well_formed() {
+    for seed in 0..24u64 {
+        let machines = 4 + (seed as usize * 37) % 196;
         let config = FaultInjectorConfig {
             machines,
             gpus_per_machine: 8,
@@ -172,31 +227,36 @@ proptest! {
         let mut now = SimTime::ZERO;
         for _ in 0..100 {
             let event = injector.next_event(now);
-            prop_assert!(event.at >= now);
+            assert!(event.at >= now, "seed: {seed}");
             now = event.at;
             for culprit in &event.culprits {
-                prop_assert!(culprit.index() < machines);
+                assert!(culprit.index() < machines, "seed: {seed}, event: {event:?}");
             }
             if event.root_cause == RootCause::UserCode || event.root_cause == RootCause::Human {
-                prop_assert!(event.culprits.is_empty());
+                assert!(event.culprits.is_empty(), "seed: {seed}, event: {event:?}");
             }
         }
     }
+}
 
-    /// Stack aggregation never flags outliers on a healthy capture, and always
-    /// places the hang victim's ranks among the outliers on a hung capture.
-    #[test]
-    fn aggregation_flags_exactly_the_anomalous_side(victim_index in 0u32..16) {
+/// Stack aggregation never flags outliers on a healthy capture, and always
+/// places the hang victim's ranks among the outliers on a hung capture.
+#[test]
+fn aggregation_flags_exactly_the_anomalous_side() {
+    for victim_index in 0u32..16 {
         let mut runtime = TrainingRuntime::new(JobSpec::small_test());
         let healthy = AggregationResult::aggregate(&runtime.capture_stacks());
-        prop_assert!(!healthy.has_outliers());
+        assert!(!healthy.has_outliers(), "victim: {victim_index}");
         let victim = MachineId(victim_index);
         runtime.inject_hang(vec![victim]);
         let hung = AggregationResult::aggregate(&runtime.capture_stacks());
-        prop_assert!(hung.has_outliers());
+        assert!(hung.has_outliers(), "victim: {victim_index}");
         let outliers = hung.outlier_ranks();
         for rank in runtime.topology().mapping().ranks_on_machine(victim) {
-            prop_assert!(outliers.contains(&rank));
+            assert!(
+                outliers.contains(&rank),
+                "victim: {victim_index}, rank: {rank:?}"
+            );
         }
     }
 }
