@@ -103,6 +103,12 @@ pub struct Monitor {
     pub config: MonitorConfig,
     detector: AnomalyDetector,
     metrics: MetricStore,
+    /// Machines flagged by the fleet's repeat-offender ledger (sorted):
+    /// machines with prior incident history across jobs, for which the
+    /// eviction threshold is lowered (§9 repeated-occurrence heuristics). The
+    /// fleet runner refreshes this set from recorded cross-job incident data;
+    /// solo jobs leave it empty.
+    repeat_offenders: Vec<MachineId>,
 }
 
 impl Monitor {
@@ -112,7 +118,27 @@ impl Monitor {
             config: MonitorConfig::default(),
             detector: AnomalyDetector::new(),
             metrics: MetricStore::new(),
+            repeat_offenders: Vec::new(),
         }
+    }
+
+    /// Replaces the repeat-offender set the fleet ledger derived from
+    /// cross-job incident history. The set is sorted and deduplicated so
+    /// membership checks can binary-search.
+    pub fn set_repeat_offenders(&mut self, mut machines: Vec<MachineId>) {
+        machines.sort();
+        machines.dedup();
+        self.repeat_offenders = machines;
+    }
+
+    /// The current repeat-offender set, sorted.
+    pub fn repeat_offenders(&self) -> &[MachineId] {
+        &self.repeat_offenders
+    }
+
+    /// Whether a machine has been flagged as a repeat offender.
+    pub fn is_repeat_offender(&self, machine: MachineId) -> bool {
+        self.repeat_offenders.binary_search(&machine).is_ok()
     }
 
     /// Read access to the collected metrics.
@@ -312,6 +338,23 @@ mod tests {
         );
         let anomalies = monitor.check_anomalies(SimTime::from_secs(31 * 30));
         assert!(anomalies.contains(&Anomaly::NanValue));
+    }
+
+    #[test]
+    fn repeat_offender_set_is_sorted_and_queryable() {
+        let mut monitor = Monitor::new();
+        assert!(!monitor.is_repeat_offender(MachineId(3)));
+        monitor.set_repeat_offenders(vec![MachineId(9), MachineId(3), MachineId(9)]);
+        assert_eq!(
+            monitor.repeat_offenders(),
+            &[MachineId(3), MachineId(9)],
+            "set must be sorted and deduplicated"
+        );
+        assert!(monitor.is_repeat_offender(MachineId(3)));
+        assert!(monitor.is_repeat_offender(MachineId(9)));
+        assert!(!monitor.is_repeat_offender(MachineId(4)));
+        monitor.set_repeat_offenders(Vec::new());
+        assert!(!monitor.is_repeat_offender(MachineId(3)));
     }
 
     #[test]

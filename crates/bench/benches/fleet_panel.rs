@@ -1,0 +1,7 @@
+//! Bench: regenerate the fleet orchestration panel — concurrent jobs over a
+//! shared standby pool with the cross-job incident warehouse — comparing
+//! per-job ETTR against solo runs with identical seeds.
+
+fn main() {
+    println!("{}", byterobust_bench::experiments::fleet_panel());
+}

@@ -27,6 +27,10 @@ fn main() {
     // The 1,000-GPU 10-day job of Fig. 2.
     println!("{}", experiments::fig2_loss_mfu());
 
+    // Fleet orchestration: concurrent jobs over a shared standby pool.
+    eprintln!("running the fleet drill (3 concurrent jobs, shared standbys)...");
+    println!("{}", experiments::fleet_panel());
+
     // The two production deployment jobs of §8.1 drive the remaining tables.
     eprintln!("running production deployment simulations (dense 3-month + MoE 1-month)...");
     let (dense, moe) = experiments::production_reports();

@@ -13,6 +13,7 @@ use byterobust_cluster::{
     FaultCategory, FaultInjector, FaultInjectorConfig, FaultKind, MachineId, RootCause,
 };
 use byterobust_core::{JobConfig, JobLifecycle, JobReport};
+use byterobust_fleet::{FleetConfig, FleetRunner, IncidentWarehouse};
 use byterobust_parallelism::ParallelismConfig;
 use byterobust_recovery::{
     binomial_quantile, DualPhaseReplay, ReplayConfig, RestartCostModel, RestartStrategy,
@@ -316,17 +317,15 @@ pub fn table4_resolution(dense: &JobReport, moe: &JobReport) -> String {
 }
 
 /// Table 6: incident resolution cost — ByteRobust vs. selective stress
-/// testing.
+/// testing. The "ours" columns are incident-store queries: the two jobs'
+/// stores are merged into an [`IncidentWarehouse`] and the per-symptom
+/// resolution times read from it, so the table shares its source of truth
+/// with Table 4 instead of folding raw incident records.
 pub fn table6_resolution_cost(dense: &JobReport, moe: &JobReport) -> String {
-    let mut by_symptom: BTreeMap<FaultKind, Vec<f64>> = BTreeMap::new();
-    for report in [dense, moe] {
-        for incident in &report.incidents {
-            by_symptom
-                .entry(incident.kind)
-                .or_default()
-                .push(incident.resolution_time().as_secs_f64());
-        }
-    }
+    let mut warehouse = IncidentWarehouse::default();
+    warehouse.ingest_store("dense", &dense.incident_store);
+    warehouse.ingest_store("moe", &moe.incident_store);
+    let by_symptom = warehouse.resolution_time_by_symptom();
     let baseline = SelectiveStressTester::new();
     let mut table = Table::new(
         "Table 6: incident resolution cost comparison (seconds)",
@@ -348,14 +347,10 @@ pub fn table6_resolution_cost(dense: &JobReport, moe: &JobReport) -> String {
         FaultKind::CodeDataAdjustment,
     ];
     for kind in symptoms {
-        let (mean, max) = match by_symptom.get(&kind) {
-            Some(values) if !values.is_empty() => {
-                let mean = values.iter().sum::<f64>() / values.len() as f64;
-                let max = values.iter().copied().fold(0.0, f64::max);
-                (mean, max)
-            }
-            _ => (f64::NAN, f64::NAN),
-        };
+        let (mean, max) = by_symptom
+            .get(&kind)
+            .copied()
+            .unwrap_or((f64::NAN, f64::NAN));
         let selective = match baseline.resolution_time(kind, RootCause::Infrastructure) {
             Some(d) => fmt_secs(d.as_secs_f64()),
             None => "INF".to_string(),
@@ -617,6 +612,80 @@ pub fn replay_localization() -> String {
         format!("{exact}/24"),
     ]);
     table.render()
+}
+
+/// Fleet panel: N concurrent jobs over a shared standby pool vs. the same
+/// jobs run solo (identical per-job seeds). Reports per-job ETTR both ways,
+/// the shared-vs-solo standby provisioning, the cross-job warehouse severity
+/// mix, the drained escalation backlog, and fleet-wide attribution accuracy.
+pub fn fleet_panel() -> String {
+    let runner = FleetRunner::new(FleetConfig::small_drill(), SEED + 40);
+    let seeds = runner.job_seeds();
+    let solo: Vec<JobReport> = runner
+        .config()
+        .jobs
+        .iter()
+        .zip(seeds.iter())
+        .map(|(job, &seed)| JobLifecycle::new(job.config.clone(), seed).run())
+        .collect();
+    let fleet = runner.run();
+
+    let mut table = Table::new(
+        "Fleet panel: per-job ETTR, solo vs. shared-fleet run (same seeds)",
+        &[
+            "Job",
+            "Machines",
+            "Incidents",
+            "Solo ETTR",
+            "Fleet ETTR",
+            "Final step",
+        ],
+    );
+    for (job, solo_report) in fleet.jobs.iter().zip(solo.iter()) {
+        table.row(&[
+            job.label.clone(),
+            job.machines.to_string(),
+            job.report.incidents.len().to_string(),
+            format!("{:.4}", solo_report.ettr.cumulative_ettr()),
+            format!("{:.4}", job.report.ettr.cumulative_ettr()),
+            job.report.final_step.to_string(),
+        ]);
+    }
+
+    let mut severity = Table::new(
+        "Fleet warehouse: severity distribution across jobs",
+        &["Severity", "Count"],
+    );
+    for (sev, count) in fleet.warehouse.severity_counts() {
+        severity.row(&[sev.label().to_string(), count.to_string()]);
+    }
+
+    let mut attribution = Table::new(
+        "Fleet warehouse: attribution accuracy (concluded vs ground-truth cause)",
+        &["Category", "Matching", "Total", "Accuracy"],
+    );
+    for (category, (matching, total)) in fleet.warehouse.attribution_stats() {
+        attribution.row(&[
+            format!("{category:?}"),
+            matching.to_string(),
+            total.to_string(),
+            fmt_pct(matching as f64 / total.max(1) as f64),
+        ]);
+    }
+
+    format!(
+        "{}\n{}\n{}\nShared pool: target {} vs {} per-job; sweeps {} dispatched / {} drained in-run; \
+         {} machines returned to standby; fleet ETTR = {:.4}\n",
+        table.render(),
+        severity.render(),
+        attribution.render(),
+        fleet.shared_pool_target,
+        fleet.solo_pool_sum,
+        fleet.drain.sweeps_dispatched,
+        fleet.drain.sweeps_completed_in_run,
+        fleet.drain.machines_returned_to_standby,
+        fleet.fleet_ettr(),
+    )
 }
 
 /// Fig. 7: stack aggregation for a backward-communication hang.

@@ -15,7 +15,7 @@ use byterobust_sim::{SimDuration, SimRng, SimTime};
 use crate::ids::MachineId;
 
 /// Incident category (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum FaultCategory {
     /// Clear diagnostic indicators: error messages, exit codes.
     Explicit,

@@ -35,6 +35,11 @@ pub use byterobust_incident::ResolutionMechanism;
 pub struct IncidentOutcome {
     /// The mechanism that finally resolved the incident.
     pub mechanism: ResolutionMechanism,
+    /// The root cause the control plane concluded from its own evidence
+    /// (diagnoser verdicts, analyzer decisions, replay outcomes) — recorded
+    /// alongside the injector's ground truth so attribution accuracy can be
+    /// scored per incident (§9).
+    pub concluded_cause: RootCause,
     /// Machines evicted while resolving it.
     pub evicted: Vec<MachineId>,
     /// Whether any of the evictions were over-evictions (analyzer group
@@ -83,7 +88,6 @@ pub struct RobustController {
     analyzer: RuntimeAnalyzer,
     tracer: OnDemandTracer,
     hot_update: HotUpdateManager,
-    standby_pool: WarmStandbyPool,
     restart_model: RestartCostModel,
     stress_baseline: SelectiveStressTester,
     recorder: FlightRecorder,
@@ -91,6 +95,11 @@ pub struct RobustController {
 
 impl RobustController {
     /// Creates a controller for a job hosted on `job_machines` machines.
+    ///
+    /// The controller does not own a warm-standby pool: the caller passes one
+    /// to [`RobustController::handle_incident`], which is what lets a fleet
+    /// of concurrent jobs share a single pool. Solo runs create a default
+    /// pool with [`RobustController::default_standby_pool`].
     pub fn new(job_machines: usize, rng: SimRng) -> Self {
         let config = ControllerConfig::default();
         RobustController {
@@ -100,14 +109,20 @@ impl RobustController {
             analyzer: RuntimeAnalyzer::new(),
             tracer: OnDemandTracer::new(),
             hot_update: HotUpdateManager::new(),
-            standby_pool: WarmStandbyPool::new(StandbyPoolConfig::for_job(
-                job_machines,
-                config.per_machine_daily_failure_prob,
-            )),
             restart_model: RestartCostModel::for_job(job_machines),
             stress_baseline: SelectiveStressTester::new(),
             recorder: FlightRecorder::default(),
         }
+    }
+
+    /// The warm-standby pool the controller's default sizing implies for a
+    /// job of `job_machines` machines (P99 of the binomial simultaneous-
+    /// failure distribution, §6.2).
+    pub fn default_standby_pool(job_machines: usize) -> WarmStandbyPool {
+        WarmStandbyPool::new(StandbyPoolConfig::for_job(
+            job_machines,
+            ControllerConfig::default().per_machine_daily_failure_prob,
+        ))
     }
 
     /// The flight recorder (frozen captures are returned inside each
@@ -141,11 +156,6 @@ impl RobustController {
     /// Mutable access to the hot-update manager (to file update requests).
     pub fn hot_update_mut(&mut self) -> &mut HotUpdateManager {
         &mut self.hot_update
-    }
-
-    /// The warm-standby pool.
-    pub fn standby_pool(&self) -> &WarmStandbyPool {
-        &self.standby_pool
     }
 
     /// The restart-cost model.
@@ -193,8 +203,12 @@ impl RobustController {
     }
 
     /// Handles one incident end to end, mutating the cluster (evictions,
-    /// standby activation), the runtime (fault clearing, checkpoint restore)
-    /// and the checkpoint manager. Returns the resolution record.
+    /// standby activation), the runtime (fault clearing, checkpoint restore),
+    /// the checkpoint manager, and the warm-standby pool scheduling draws
+    /// from. Returns the resolution record.
+    ///
+    /// The pool is a parameter (rather than controller state) so concurrent
+    /// jobs can share one fleet-level pool; a solo run passes its own.
     pub fn handle_incident(
         &mut self,
         fault: &FaultEvent,
@@ -202,6 +216,7 @@ impl RobustController {
         cluster: &mut Cluster,
         runtime: &mut TrainingRuntime,
         ckpt: &mut CkptManager,
+        standby_pool: &mut WarmStandbyPool,
     ) -> IncidentOutcome {
         let detection = self.monitor.detection_time_with_inspection(fault.kind);
         let mut cost = FailoverCost {
@@ -306,15 +321,38 @@ impl RobustController {
                     evicted.extend(fault.culprits.iter().copied());
                     mechanism = ResolutionMechanism::ImmediateEviction;
                 } else {
-                    mechanism = self.stop_time_path(
-                        fault,
-                        now,
-                        cluster,
-                        runtime,
-                        &mut cost,
-                        &mut evicted,
-                        &mut rolled_back,
-                    );
+                    // §9 repeated-occurrence heuristic: machines named by the
+                    // fault-time telemetry signature (recorded data, not
+                    // injector ground truth) that the fleet's repeat-offender
+                    // ledger has flagged are evicted on the signature alone —
+                    // prior cross-job incident history lowers their eviction
+                    // threshold below the stop-time diagnostics bar.
+                    let offenders = self.repeat_offender_suspects(now);
+                    if !offenders.is_empty() {
+                        cost.localization += SimDuration::from_secs(60);
+                        for &machine in &offenders {
+                            self.recorder.record(
+                                now + cost.total(),
+                                RecorderEvent::MonitorVerdict {
+                                    machine,
+                                    issue: "repeat offender (cross-job incident history)"
+                                        .to_string(),
+                                },
+                            );
+                        }
+                        evicted.extend(offenders);
+                        mechanism = ResolutionMechanism::ImmediateEviction;
+                    } else {
+                        mechanism = self.stop_time_path(
+                            fault,
+                            now,
+                            cluster,
+                            runtime,
+                            &mut cost,
+                            &mut evicted,
+                            &mut rolled_back,
+                        );
+                    }
                 }
             }
         }
@@ -371,6 +409,20 @@ impl RobustController {
             }
         }
 
+        // The cause the control plane concluded, read off the mechanism it
+        // settled on *before* recovery (recovery may opportunistically merge
+        // a pending hot update into a reattempt, which does not change what
+        // the diagnosis concluded about this incident).
+        let concluded_cause = match mechanism {
+            ResolutionMechanism::HotUpdate => RootCause::Human,
+            ResolutionMechanism::Reattempt => RootCause::Transient,
+            ResolutionMechanism::Rollback => RootCause::UserCode,
+            ResolutionMechanism::ImmediateEviction
+            | ResolutionMechanism::StopTimeEviction
+            | ResolutionMechanism::DualPhaseReplay
+            | ResolutionMechanism::AnalyzerEviction => RootCause::Infrastructure,
+        };
+
         // Recovery: evictions, standby activation, hot-update merge,
         // checkpoint restore, recomputation.
         evicted.sort();
@@ -381,6 +433,7 @@ impl RobustController {
             cluster,
             runtime,
             ckpt,
+            standby_pool,
             &evicted,
             rolled_back,
             &mut cost,
@@ -423,6 +476,7 @@ impl RobustController {
 
         IncidentOutcome {
             mechanism,
+            concluded_cause,
             over_evicted,
             rolled_back_code: rolled_back,
             applied_hot_update,
@@ -431,6 +485,18 @@ impl RobustController {
             cost,
             capture,
         }
+    }
+
+    /// Machines named by the open incident's fault-time telemetry signature
+    /// that the repeat-offender ledger has flagged. Both inputs are recorded
+    /// data: the signature comes from the flight recorder's context snapshot,
+    /// the flag from cross-job incident history fed into the monitor.
+    fn repeat_offender_suspects(&self, opened_at: SimTime) -> Vec<MachineId> {
+        self.recorder
+            .context_machines_since(opened_at)
+            .into_iter()
+            .filter(|&machine| self.monitor.is_repeat_offender(machine))
+            .collect()
     }
 
     /// Runs the aggregation analysis for an implicit failure, recording the
@@ -522,6 +588,7 @@ impl RobustController {
         cluster: &mut Cluster,
         runtime: &mut TrainingRuntime,
         ckpt: &mut CkptManager,
+        standby_pool: &mut WarmStandbyPool,
         evicted: &[MachineId],
         rolled_back: bool,
         cost: &mut FailoverCost,
@@ -546,8 +613,13 @@ impl RobustController {
         } else {
             cost.scheduling +=
                 self.restart_model
-                    .warm_standby_time(&mut self.standby_pool, evicted.len(), now);
-            // Activate as many ready standbys as we were granted.
+                    .warm_standby_time(standby_pool, evicted.len(), now);
+            // Every eviction gets a replacement: pool standbys awaken, and
+            // any pool shortfall was rescheduled from the free pool — the
+            // reschedule path is already charged into the scheduling time
+            // above, so by the time training resumes all replacements are
+            // ready. A drained shared pool therefore costs time, not
+            // membership.
             let standbys = cluster.standby_machines();
             for standby in standbys.into_iter().take(evicted.len()) {
                 cluster.activate_standby(standby);
@@ -621,6 +693,20 @@ mod tests {
         cluster: Cluster,
         runtime: TrainingRuntime,
         ckpt: CkptManager,
+        pool: WarmStandbyPool,
+    }
+
+    impl Fixture {
+        fn handle(&mut self, event: &FaultEvent, now: SimTime) -> IncidentOutcome {
+            self.controller.handle_incident(
+                event,
+                now,
+                &mut self.cluster,
+                &mut self.runtime,
+                &mut self.ckpt,
+                &mut self.pool,
+            )
+        }
     }
 
     fn fixture() -> Fixture {
@@ -629,11 +715,13 @@ mod tests {
         let runtime = TrainingRuntime::new(job.clone());
         let ckpt = CkptManager::byterobust_default(&job);
         let controller = RobustController::new(job.machines(), SimRng::new(7));
+        let pool = RobustController::default_standby_pool(job.machines());
         Fixture {
             controller,
             cluster,
             runtime,
             ckpt,
+            pool,
         }
     }
 
@@ -673,13 +761,7 @@ mod tests {
             RootCause::Infrastructure,
             vec![victim],
         );
-        let outcome = f.controller.handle_incident(
-            &event,
-            SimTime::from_hours(1),
-            &mut f.cluster,
-            &mut f.runtime,
-            &mut f.ckpt,
-        );
+        let outcome = f.handle(&event, SimTime::from_hours(1));
         assert_eq!(outcome.mechanism, ResolutionMechanism::ImmediateEviction);
         assert_eq!(outcome.evicted, vec![victim]);
         assert!(f.cluster.blacklist.contains(victim));
@@ -706,13 +788,7 @@ mod tests {
             .hot_update_mut()
             .apply_pending(SimTime::from_secs(1800));
         let event = fault(FaultKind::CudaError, RootCause::UserCode, vec![]);
-        let outcome = f.controller.handle_incident(
-            &event,
-            SimTime::from_hours(1),
-            &mut f.cluster,
-            &mut f.runtime,
-            &mut f.ckpt,
-        );
+        let outcome = f.handle(&event, SimTime::from_hours(1));
         assert_eq!(outcome.mechanism, ResolutionMechanism::Rollback);
         assert!(outcome.rolled_back_code);
         assert!(outcome.evicted.is_empty());
@@ -727,13 +803,7 @@ mod tests {
             RootCause::Transient,
             vec![MachineId(2)],
         );
-        let outcome = f.controller.handle_incident(
-            &event,
-            SimTime::from_hours(1),
-            &mut f.cluster,
-            &mut f.runtime,
-            &mut f.ckpt,
-        );
+        let outcome = f.handle(&event, SimTime::from_hours(1));
         assert_eq!(outcome.mechanism, ResolutionMechanism::Reattempt);
         assert!(outcome.evicted.is_empty());
         assert_eq!(f.cluster.active_machines().len(), 16);
@@ -746,13 +816,7 @@ mod tests {
         let victim = MachineId(6);
         f.runtime.inject_hang(vec![victim]);
         let event = fault(FaultKind::JobHang, RootCause::Infrastructure, vec![victim]);
-        let outcome = f.controller.handle_incident(
-            &event,
-            SimTime::from_hours(2),
-            &mut f.cluster,
-            &mut f.runtime,
-            &mut f.ckpt,
-        );
+        let outcome = f.handle(&event, SimTime::from_hours(2));
         assert_eq!(outcome.mechanism, ResolutionMechanism::AnalyzerEviction);
         assert!(outcome.evicted.contains(&victim));
         // Over-eviction is bounded: at most one machine per pipeline stage.
@@ -772,13 +836,7 @@ mod tests {
         train_some_steps(&mut f, 20);
         let event = fault(FaultKind::CodeDataAdjustment, RootCause::Human, vec![]);
         let before_version = f.runtime.code_version().version;
-        let outcome = f.controller.handle_incident(
-            &event,
-            SimTime::from_hours(3),
-            &mut f.cluster,
-            &mut f.runtime,
-            &mut f.ckpt,
-        );
+        let outcome = f.handle(&event, SimTime::from_hours(3));
         assert_eq!(outcome.mechanism, ResolutionMechanism::HotUpdate);
         assert!(outcome.applied_hot_update);
         assert!(outcome.evicted.is_empty());
@@ -794,6 +852,65 @@ mod tests {
     }
 
     #[test]
+    fn repeat_offender_history_lowers_the_eviction_threshold() {
+        // A CUDA error on a machine with no visible machine-level damage
+        // (user-code-free but leaving no inspection findings) normally goes
+        // through the full stop-time diagnostics before eviction. Once the
+        // fleet ledger flags the machine as a repeat offender, its fault-time
+        // telemetry signature alone justifies eviction — the same incident
+        // resolves via immediate eviction with only a one-minute localization
+        // charge instead of the multi-minute diagnosis suites.
+        use byterobust_incident::telemetry_signature;
+        use byterobust_telemetry::SystemEvent;
+
+        let run = |flag_offender: bool| -> IncidentOutcome {
+            let mut f = fixture();
+            train_some_steps(&mut f, 10);
+            let victim = MachineId(5);
+            // Transient symptom: nothing for inspections or EUD to find.
+            let mut event = fault(FaultKind::CudaError, RootCause::Transient, vec![victim]);
+            event.transient = true;
+            if flag_offender {
+                f.controller
+                    .monitor_mut()
+                    .set_repeat_offenders(vec![victim]);
+            }
+            // The lifecycle's telemetry tap fires at fault time.
+            let now = SimTime::from_hours(1);
+            let kind = telemetry_signature(event.kind).expect("CUDA errors leave a signature");
+            f.controller.recorder_mut().record(
+                now,
+                RecorderEvent::Telemetry(SystemEvent::new(now, kind, victim)),
+            );
+            f.handle(&event, now)
+        };
+
+        let without_history = run(false);
+        assert_eq!(without_history.mechanism, ResolutionMechanism::Reattempt);
+        assert!(without_history.evicted.is_empty());
+
+        let with_history = run(true);
+        assert_eq!(
+            with_history.mechanism,
+            ResolutionMechanism::ImmediateEviction
+        );
+        assert_eq!(with_history.evicted, vec![MachineId(5)]);
+        assert_eq!(with_history.concluded_cause, RootCause::Infrastructure);
+        assert!(
+            with_history.cost.localization < without_history.cost.localization,
+            "history must shorten localization: {} vs {}",
+            with_history.cost.localization,
+            without_history.cost.localization
+        );
+        // The eviction decision is visible in the capture as a monitor
+        // verdict citing the cross-job history.
+        assert!(with_history.capture.window.iter().any(|entry| matches!(
+            &entry.event,
+            RecorderEvent::MonitorVerdict { issue, .. } if issue.contains("repeat offender")
+        )));
+    }
+
+    #[test]
     fn irreproducible_nan_still_gets_isolated_eventually() {
         let mut f = fixture();
         train_some_steps(&mut f, 6);
@@ -801,13 +918,7 @@ mod tests {
         f.cluster.machine_mut(victim).gpu_mut(1).sdc_prone = true;
         let mut event = fault(FaultKind::NanValue, RootCause::Infrastructure, vec![victim]);
         event.reproducible = false;
-        let outcome = f.controller.handle_incident(
-            &event,
-            SimTime::from_hours(1),
-            &mut f.cluster,
-            &mut f.runtime,
-            &mut f.ckpt,
-        );
+        let outcome = f.handle(&event, SimTime::from_hours(1));
         // Whatever path was taken, the culprit ends up evicted and training
         // resumes.
         assert!(outcome.evicted.contains(&victim), "outcome: {outcome:?}");

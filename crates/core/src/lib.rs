@@ -46,7 +46,7 @@ pub mod report;
 pub use config::JobConfig;
 pub use ettr::EttrTracker;
 pub use ft::{IncidentOutcome, ResolutionMechanism, RobustController};
-pub use lifecycle::JobLifecycle;
+pub use lifecycle::{JobExecution, JobLifecycle, SegmentOutcome};
 pub use report::{IncidentRecord, JobReport};
 
 /// Convenience prelude for applications and examples.
@@ -54,6 +54,6 @@ pub mod prelude {
     pub use crate::config::JobConfig;
     pub use crate::ettr::EttrTracker;
     pub use crate::ft::{IncidentOutcome, ResolutionMechanism, RobustController};
-    pub use crate::lifecycle::JobLifecycle;
+    pub use crate::lifecycle::{JobExecution, JobLifecycle, SegmentOutcome};
     pub use crate::report::{IncidentRecord, JobReport};
 }

@@ -15,6 +15,7 @@ use byterobust_incident::{
     telemetry_signature, ClassificationInput, ClassificationMatrix, IncidentDossier, IncidentStore,
     RecorderEvent,
 };
+use byterobust_recovery::WarmStandbyPool;
 use byterobust_sim::{SimDuration, SimRng, SimTime};
 use byterobust_telemetry::SystemEvent;
 use byterobust_trainsim::{LossModel, StepModel, TrainingRuntime};
@@ -40,6 +41,273 @@ impl JobLifecycle {
     /// The configuration this driver will run.
     pub fn config(&self) -> &JobConfig {
         &self.config
+    }
+
+    /// Runs the job to completion and returns its report.
+    pub fn run(&self) -> JobReport {
+        let mut execution = JobExecution::new(self.config.clone(), self.seed);
+        while !execution.is_finished() {
+            execution.advance();
+        }
+        execution.into_report()
+    }
+}
+
+/// What one [`JobExecution::advance`] call processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentOutcome {
+    /// A productive interval was played and the incident that ended it was
+    /// handled; its dossier is in the job's incident store under this seq.
+    Incident {
+        /// The handled incident's sequence number.
+        seq: u64,
+    },
+    /// The job reached its configured end (the final productive interval has
+    /// been accounted).
+    Finished,
+}
+
+/// One live job run, steppable segment by segment.
+///
+/// A segment is "one productive interval plus the incident that ends it" —
+/// the unit [`JobLifecycle::run`] loops over. Exposing the loop lets a fleet
+/// scheduler interleave many concurrent jobs in global event order, feed
+/// their incidents into a shared warehouse, and route every job's scheduling
+/// draws through one shared warm-standby pool
+/// ([`JobExecution::advance_with_pool`]).
+#[derive(Debug, Clone)]
+pub struct JobExecution {
+    config: JobConfig,
+    cluster: Cluster,
+    runtime: TrainingRuntime,
+    controller: RobustController,
+    injector: FaultInjector,
+    ckpt: CkptManager,
+    step_model: StepModel,
+    loss_model: LossModel,
+    ettr: EttrTracker,
+    incidents: Vec<IncidentRecord>,
+    mfu_series: Vec<SeriesPoint>,
+    loss_series: Vec<SeriesPoint>,
+    matrix: ClassificationMatrix,
+    incident_store: IncidentStore,
+    /// The job's own pool, used by [`JobExecution::advance`] for solo runs
+    /// (fleet runs bypass it and pass a shared pool).
+    solo_pool: Option<WarmStandbyPool>,
+    now: SimTime,
+    end: SimTime,
+    next_fault: FaultEvent,
+    finished: bool,
+}
+
+impl JobExecution {
+    /// Sets up a job run (cluster, runtime, controller, injector, checkpoint
+    /// manager) exactly as [`JobLifecycle::run`] would.
+    pub fn new(config: JobConfig, seed: u64) -> Self {
+        let mut rng = SimRng::new(seed);
+        let cluster = Cluster::build(config.cluster_spec());
+        let runtime = TrainingRuntime::new(config.job.clone());
+        let controller = RobustController::new(config.job.machines(), rng.fork(1));
+        let mut injector = FaultInjector::new(config.fault.clone(), rng.fork(2));
+        let ckpt = CkptManager::new(&config.job, config.ckpt_plan);
+        let step_model = StepModel::new(config.job.clone());
+        let loss_model = LossModel::pretraining();
+        let solo_pool = RobustController::default_standby_pool(config.job.machines());
+        let end = SimTime::ZERO + config.duration;
+        let next_fault = injector.next_event(SimTime::ZERO);
+        JobExecution {
+            cluster,
+            runtime,
+            controller,
+            injector,
+            ckpt,
+            step_model,
+            loss_model,
+            ettr: EttrTracker::new(),
+            incidents: Vec::new(),
+            mfu_series: Vec::new(),
+            loss_series: Vec::new(),
+            matrix: ClassificationMatrix::byterobust_default(),
+            incident_store: IncidentStore::new(),
+            solo_pool: Some(solo_pool),
+            now: SimTime::ZERO,
+            end,
+            next_fault,
+            finished: false,
+            config,
+        }
+    }
+
+    /// The configuration this execution runs.
+    pub fn config(&self) -> &JobConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// When this job's next event fires: its next injected fault, or the job
+    /// end if that comes first. A fleet scheduler advances the job whose next
+    /// event is earliest, which keeps shared-pool draws in global time order.
+    pub fn next_event_at(&self) -> SimTime {
+        self.next_fault.at.min(self.end)
+    }
+
+    /// Whether the job has reached its configured end.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The incidents closed so far.
+    pub fn incident_store(&self) -> &IncidentStore {
+        &self.incident_store
+    }
+
+    /// The job's controller (e.g. for monitor threshold inputs).
+    pub fn controller(&self) -> &RobustController {
+        &self.controller
+    }
+
+    /// Mutable controller access: the fleet runner pushes repeat-offender
+    /// sets into the monitor through this.
+    pub fn controller_mut(&mut self) -> &mut RobustController {
+        &mut self.controller
+    }
+
+    /// Advances one segment using the job's own standby pool (solo runs).
+    pub fn advance(&mut self) -> SegmentOutcome {
+        let mut pool = self
+            .solo_pool
+            .take()
+            .expect("solo pool is always restored after advance");
+        let outcome = self.advance_with_pool(&mut pool);
+        self.solo_pool = Some(pool);
+        outcome
+    }
+
+    /// Advances one segment, drawing replacement machines from `pool` — the
+    /// fleet entry point, where `pool` is shared by every job in the fleet.
+    pub fn advance_with_pool(&mut self, pool: &mut WarmStandbyPool) -> SegmentOutcome {
+        if self.finished {
+            return SegmentOutcome::Finished;
+        }
+
+        // ----- Productive interval until the next incident (or job end).
+        let interval_end = self.next_fault.at.min(self.end);
+        if interval_end > self.now {
+            let interval = interval_end - self.now;
+            let breakdown = self.step_model.step(
+                self.runtime.code_version(),
+                self.cluster.active_relative_throughput().max(0.05),
+                SimDuration::ZERO,
+            );
+            let step_time = breakdown.total();
+            let from_step = self.runtime.current_step();
+            let steps = (interval.as_millis() / step_time.as_millis().max(1)).max(1);
+            let to_step = from_step + steps;
+            self.runtime.restore_to_step(to_step);
+            self.ckpt.advance_steps(from_step, to_step, &breakdown);
+
+            self.ettr.record_productive(interval);
+            self.mfu_series.push(SeriesPoint {
+                at: interval_end,
+                step: to_step,
+                value: breakdown.mfu,
+            });
+            self.loss_series.push(SeriesPoint {
+                at: interval_end,
+                step: to_step,
+                value: self.loss_model.loss_at(to_step),
+            });
+        }
+        self.now = interval_end;
+        if self.now >= self.end {
+            self.finished = true;
+            return SegmentOutcome::Finished;
+        }
+
+        // ----- Handle the incident.
+        let fault = self.next_fault.clone();
+        Self::apply_fault_effects(&fault, &mut self.cluster, &mut self.runtime);
+        // Telemetry tap: explicit symptoms leave a system-event signature on
+        // the culprit machines, which lands in the flight recorder's
+        // background ring and becomes the incident's pre-incident context.
+        if let Some(event_kind) = telemetry_signature(fault.kind) {
+            for &culprit in &fault.culprits {
+                self.controller.recorder_mut().record(
+                    self.now,
+                    RecorderEvent::Telemetry(SystemEvent::new(self.now, event_kind, culprit)),
+                );
+            }
+        }
+        let outcome = self.controller.handle_incident(
+            &fault,
+            self.now,
+            &mut self.cluster,
+            &mut self.runtime,
+            &mut self.ckpt,
+            pool,
+        );
+        let unproductive = outcome.cost.total();
+        self.ettr.record_unproductive(unproductive);
+        self.incidents.push(IncidentRecord {
+            at: self.now,
+            kind: fault.kind,
+            category: fault.category(),
+            root_cause: fault.root_cause,
+            mechanism: outcome.mechanism,
+            cost: outcome.cost,
+            evicted_count: outcome.evicted.len(),
+            over_evicted: outcome.over_evicted,
+        });
+        let classification = self.matrix.classify(&ClassificationInput {
+            category: fault.category(),
+            root_cause: fault.root_cause,
+            mechanism: outcome.mechanism,
+            blast_radius: outcome.evicted.len(),
+            over_evicted: outcome.over_evicted,
+            reproducible: fault.reproducible,
+            downtime: unproductive,
+        });
+        self.incident_store.insert(IncidentDossier {
+            seq: fault.seq,
+            at: self.now,
+            kind: fault.kind,
+            category: fault.category(),
+            root_cause: fault.root_cause,
+            concluded_cause: outcome.concluded_cause,
+            mechanism: outcome.mechanism,
+            cost: outcome.cost,
+            evicted: outcome.evicted.clone(),
+            over_evicted: outcome.over_evicted,
+            resumed_step: outcome.resumed_step,
+            classification,
+            capture: outcome.capture,
+        });
+        self.now += unproductive;
+        self.next_fault = self.injector.next_event(self.now);
+        if self.now >= self.end {
+            self.finished = true;
+        }
+        SegmentOutcome::Incident { seq: fault.seq }
+    }
+
+    /// Finalizes the run into a [`JobReport`]. Callable at any point; a fleet
+    /// calls it once every job is finished.
+    pub fn into_report(self) -> JobReport {
+        let code_versions_deployed = self.runtime.code_version().version;
+        JobReport {
+            job_name: self.config.job.model.name.clone(),
+            ettr: self.ettr,
+            mfu_series: self.mfu_series,
+            loss_series: self.loss_series,
+            incidents: self.incidents,
+            incident_store: self.incident_store,
+            final_step: self.runtime.current_step(),
+            code_versions_deployed,
+        }
     }
 
     /// Applies the ground-truth effects of a fault to the cluster and the
@@ -81,138 +349,6 @@ impl JobLifecycle {
                 JobHang => machine.gpu_mut(0).mark_faulty(),
                 HdfsError | ContainerError | ExternalServiceError | CodeDataAdjustment => {}
             }
-        }
-    }
-
-    /// Runs the job to completion and returns its report.
-    pub fn run(&self) -> JobReport {
-        let config = &self.config;
-        let mut rng = SimRng::new(self.seed);
-        let mut cluster = Cluster::build(config.cluster_spec());
-        let mut runtime = TrainingRuntime::new(config.job.clone());
-        let mut controller = RobustController::new(config.job.machines(), rng.fork(1));
-        let mut injector = FaultInjector::new(config.fault.clone(), rng.fork(2));
-        let mut ckpt = CkptManager::new(&config.job, config.ckpt_plan);
-        let step_model = StepModel::new(config.job.clone());
-        let loss_model = LossModel::pretraining();
-
-        let mut ettr = EttrTracker::new();
-        let mut incidents: Vec<IncidentRecord> = Vec::new();
-        let mut mfu_series: Vec<SeriesPoint> = Vec::new();
-        let mut loss_series: Vec<SeriesPoint> = Vec::new();
-        let matrix = ClassificationMatrix::byterobust_default();
-        let mut incident_store = IncidentStore::new();
-
-        let end = SimTime::ZERO + config.duration;
-        let mut now = SimTime::ZERO;
-        let mut next_fault = injector.next_event(now);
-
-        while now < end {
-            // ----- Productive interval until the next incident (or job end).
-            let interval_end = next_fault.at.min(end);
-            if interval_end > now {
-                let interval = interval_end - now;
-                let breakdown = step_model.step(
-                    runtime.code_version(),
-                    cluster.active_relative_throughput().max(0.05),
-                    SimDuration::ZERO,
-                );
-                let per_step_stall = if config.ckpt_plan.memory_every_steps == 1 {
-                    // Every-step checkpointing adds its blocking time to the
-                    // step cadence.
-                    ckpt.advance_steps(0, 0, &breakdown) // no-op; stall added below
-                } else {
-                    SimDuration::ZERO
-                };
-                let _ = per_step_stall;
-                let step_time = breakdown.total();
-                let from_step = runtime.current_step();
-                let steps = (interval.as_millis() / step_time.as_millis().max(1)).max(1);
-                let to_step = from_step + steps;
-                runtime.restore_to_step(to_step);
-                ckpt.advance_steps(from_step, to_step, &breakdown);
-
-                ettr.record_productive(interval);
-                mfu_series.push(SeriesPoint {
-                    at: interval_end,
-                    step: to_step,
-                    value: breakdown.mfu,
-                });
-                loss_series.push(SeriesPoint {
-                    at: interval_end,
-                    step: to_step,
-                    value: loss_model.loss_at(to_step),
-                });
-            }
-            now = interval_end;
-            if now >= end {
-                break;
-            }
-
-            // ----- Handle the incident.
-            Self::apply_fault_effects(&next_fault, &mut cluster, &mut runtime);
-            // Telemetry tap: explicit symptoms leave a system-event signature
-            // on the culprit machines, which lands in the flight recorder's
-            // background ring and becomes the incident's pre-incident context.
-            if let Some(event_kind) = telemetry_signature(next_fault.kind) {
-                for &culprit in &next_fault.culprits {
-                    controller.recorder_mut().record(
-                        now,
-                        RecorderEvent::Telemetry(SystemEvent::new(now, event_kind, culprit)),
-                    );
-                }
-            }
-            let outcome =
-                controller.handle_incident(&next_fault, now, &mut cluster, &mut runtime, &mut ckpt);
-            let unproductive = outcome.cost.total();
-            ettr.record_unproductive(unproductive);
-            incidents.push(IncidentRecord {
-                at: now,
-                kind: next_fault.kind,
-                category: next_fault.category(),
-                root_cause: next_fault.root_cause,
-                mechanism: outcome.mechanism,
-                cost: outcome.cost,
-                evicted_count: outcome.evicted.len(),
-                over_evicted: outcome.over_evicted,
-            });
-            let classification = matrix.classify(&ClassificationInput {
-                category: next_fault.category(),
-                root_cause: next_fault.root_cause,
-                mechanism: outcome.mechanism,
-                blast_radius: outcome.evicted.len(),
-                over_evicted: outcome.over_evicted,
-                reproducible: next_fault.reproducible,
-                downtime: unproductive,
-            });
-            incident_store.insert(IncidentDossier {
-                seq: next_fault.seq,
-                at: now,
-                kind: next_fault.kind,
-                category: next_fault.category(),
-                root_cause: next_fault.root_cause,
-                mechanism: outcome.mechanism,
-                cost: outcome.cost,
-                evicted: outcome.evicted.clone(),
-                over_evicted: outcome.over_evicted,
-                resumed_step: outcome.resumed_step,
-                classification,
-                capture: outcome.capture,
-            });
-            now += unproductive;
-            next_fault = injector.next_event(now);
-        }
-
-        let code_versions_deployed = runtime.code_version().version;
-        JobReport {
-            job_name: config.job.model.name.clone(),
-            ettr,
-            mfu_series,
-            loss_series,
-            incidents,
-            incident_store,
-            final_step: runtime.current_step(),
-            code_versions_deployed,
         }
     }
 }

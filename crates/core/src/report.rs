@@ -197,6 +197,7 @@ mod tests {
             kind: record.kind,
             category: record.category,
             root_cause: record.root_cause,
+            concluded_cause: record.root_cause,
             mechanism: record.mechanism,
             cost: record.cost,
             evicted: (0..record.evicted_count)

@@ -1,0 +1,67 @@
+//! Fleet orchestration: many concurrent training jobs over a shared cluster,
+//! with a cross-job incident warehouse.
+//!
+//! The paper's control plane operates at fleet scale — many jobs sharing
+//! machines, warm standbys, and an incident history — while `byterobust-core`
+//! drives exactly one job per report. This crate adds the fleet layer in four
+//! pieces:
+//!
+//! 1. [`runner::FleetRunner`] — drives N concurrent
+//!    [`JobExecution`](byterobust_core::JobExecution)s (mixed job specs:
+//!    dense, MoE-flavoured, Table-5 scale) in global event order against a
+//!    *single shared* warm-standby pool, deterministically interleaved from
+//!    the fleet seed.
+//! 2. [`warehouse::IncidentWarehouse`] — per-job incident-store shards merged
+//!    under secondary indexes (by machine, by severity, by category, by time
+//!    bucket), so fleet queries are index lookups instead of
+//!    O(total-incidents) scans. `linear_scan` exists purely so tests can pin
+//!    the invariant that indexed results equal the brute-force answer.
+//! 3. [`drainer::BacklogDrainer`] — consumes the stores' escalation backlog:
+//!    `StressTestSweep` items dispatch
+//!    [`SelectiveStressTester`](byterobust_agent::SelectiveStressTester)
+//!    sweeps whose passing (over-evicted, actually healthy) machines return
+//!    to the shared standby pool *within the same run*.
+//! 4. [`ledger::RepeatOffenderLedger`] — cross-job per-machine incident
+//!    counts, fed into every job's `Monitor` so the controller lowers the
+//!    eviction threshold for machines with prior recorded incidents (§9
+//!    repeated-occurrence heuristics) instead of consulting injector ground
+//!    truth.
+//!
+//! The result of a fleet run is a [`report::FleetReport`] whose
+//! [`render`](report::FleetReport::render) output is byte-identical across
+//! runs with the same seed.
+//!
+//! # Machine identity across jobs
+//!
+//! Every job's cluster addresses one fleet-wide `MachineId` namespace:
+//! `MachineId(3)` names the same physical machine in every job, so the
+//! *recorded incident history* — what the warehouse's machine index and the
+//! repeat-offender ledger aggregate — composes across jobs, which is the
+//! cross-job feedback loop this crate exists for. This is a deliberate
+//! modelling simplification: per-job cluster state (GPU damage, blacklists,
+//! standby activation) stays private to each job rather than flowing through
+//! a single shared hardware model, and concurrent jobs may implicate the
+//! same machine id independently. Migrating actual machine state between
+//! jobs (and giving admission control a say when the shared pool runs dry)
+//! is the ROADMAP's next fleet step.
+
+pub mod drainer;
+pub mod ledger;
+pub mod report;
+pub mod runner;
+pub mod warehouse;
+
+pub use drainer::{BacklogDrainer, CompletedSweep};
+pub use ledger::RepeatOffenderLedger;
+pub use report::{DrainSummary, FleetJobReport, FleetReport};
+pub use runner::{FleetConfig, FleetJob, FleetRunner};
+pub use warehouse::{IncidentWarehouse, WarehouseHit};
+
+/// Convenience prelude for downstream crates.
+pub mod prelude {
+    pub use crate::drainer::{BacklogDrainer, CompletedSweep};
+    pub use crate::ledger::RepeatOffenderLedger;
+    pub use crate::report::{DrainSummary, FleetJobReport, FleetReport};
+    pub use crate::runner::{FleetConfig, FleetJob, FleetRunner};
+    pub use crate::warehouse::{IncidentWarehouse, WarehouseHit};
+}

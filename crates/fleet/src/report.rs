@@ -1,0 +1,194 @@
+//! The fleet report: per-job results plus the fleet-level aggregates, with a
+//! deterministic plain-text rendering.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use byterobust_cluster::MachineId;
+use byterobust_core::JobReport;
+use byterobust_incident::Escalation;
+
+use crate::drainer::CompletedSweep;
+use crate::warehouse::IncidentWarehouse;
+
+/// One job's slice of the fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetJobReport {
+    /// The fleet label (warehouse shard key).
+    pub label: String,
+    /// The per-job seed forked from the fleet seed.
+    pub seed: u64,
+    /// Machines the job occupies.
+    pub machines: usize,
+    /// The job's full report, identical in shape to a solo run's.
+    pub report: JobReport,
+}
+
+/// What the backlog drainer processed over the run.
+#[derive(Debug, Clone)]
+pub struct DrainSummary {
+    /// Stress-test sweeps dispatched from `StressTestSweep` backlog items.
+    pub sweeps_dispatched: usize,
+    /// Sweeps that completed while jobs were still running (their cleared
+    /// machines re-entered the shared pool in-run).
+    pub sweeps_completed_in_run: usize,
+    /// Sweeps that completed only at the fleet horizon.
+    pub sweeps_completed_post_run: usize,
+    /// Machines that passed a sweep and returned to the shared standby pool.
+    pub machines_returned_to_standby: usize,
+    /// Machines a sweep confirmed faulty (they keep their hardware tickets).
+    pub machines_confirmed_faulty: usize,
+    /// Every escalation the backlog produced, by kind.
+    pub escalation_counts: BTreeMap<Escalation, usize>,
+}
+
+/// The result of one fleet run. [`FleetReport::render`] is byte-identical
+/// across runs with the same seed.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The fleet seed.
+    pub seed: u64,
+    /// Per-job results, in fleet configuration order.
+    pub jobs: Vec<FleetJobReport>,
+    /// The indexed cross-job incident warehouse.
+    pub warehouse: IncidentWarehouse,
+    /// Every completed stress-test sweep, in completion order.
+    pub completed_sweeps: Vec<CompletedSweep>,
+    /// Backlog-drain totals.
+    pub drain: DrainSummary,
+    /// Machines the ledger flagged, with their cross-job incident counts.
+    pub repeat_offenders: Vec<(MachineId, usize)>,
+    /// Incidents across jobs at or above which a machine was flagged.
+    pub repeat_offender_threshold: usize,
+    /// Target size of the shared warm-standby pool.
+    pub shared_pool_target: usize,
+    /// Standbys ready in the shared pool when the fleet finished.
+    pub shared_pool_ready_final: usize,
+    /// What per-job (unshared) P99 pools would have provisioned in total.
+    pub solo_pool_sum: usize,
+}
+
+impl FleetReport {
+    /// Fleet-wide effective-training-time ratio: total productive time over
+    /// total accounted time, across every job.
+    pub fn fleet_ettr(&self) -> f64 {
+        let productive: f64 = self
+            .jobs
+            .iter()
+            .map(|job| job.report.ettr.productive_time().as_secs_f64())
+            .sum();
+        let total: f64 = self
+            .jobs
+            .iter()
+            .map(|job| job.report.ettr.total_time().as_secs_f64())
+            .sum();
+        if total <= 0.0 {
+            1.0
+        } else {
+            productive / total
+        }
+    }
+
+    /// Total incidents across the fleet.
+    pub fn total_incidents(&self) -> usize {
+        self.jobs.iter().map(|job| job.report.incidents.len()).sum()
+    }
+
+    /// Renders the report as a deterministic plain-text document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "==== FleetReport: {} concurrent jobs (seed {}) ====",
+            self.jobs.len(),
+            self.seed
+        );
+
+        let _ = writeln!(out, "\n-- jobs");
+        for job in &self.jobs {
+            let (evicted, over) = job.report.eviction_stats();
+            let _ = writeln!(
+                out,
+                "  {:<12} machines {:>4} | incidents {:>3} | ETTR {:.4} | final step {:>6} | evicted {} ({} over)",
+                job.label,
+                job.machines,
+                job.report.incidents.len(),
+                job.report.ettr.cumulative_ettr(),
+                job.report.final_step,
+                evicted,
+                over,
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "\n-- incident warehouse ({} incidents, {} shards)",
+            self.warehouse.len(),
+            self.warehouse.jobs().len()
+        );
+        for (severity, count) in self.warehouse.severity_counts() {
+            let _ = writeln!(out, "  {:>5}: {}", severity.label(), count);
+        }
+        for (category, count) in self.warehouse.category_counts() {
+            let _ = writeln!(out, "  {category:?}: {count}");
+        }
+        let _ = writeln!(
+            out,
+            "  attribution accuracy (concluded vs ground truth): {:.4}",
+            self.warehouse.attribution_accuracy()
+        );
+
+        let _ = writeln!(
+            out,
+            "\n-- repeat offenders (>= {} incidents across jobs)",
+            self.repeat_offender_threshold
+        );
+        if self.repeat_offenders.is_empty() {
+            let _ = writeln!(out, "  none");
+        }
+        for (machine, count) in &self.repeat_offenders {
+            let _ = writeln!(out, "  {machine}: {count} incidents");
+        }
+
+        let _ = writeln!(out, "\n-- escalation backlog drained");
+        for (escalation, count) in &self.drain.escalation_counts {
+            let _ = writeln!(out, "  {escalation:?}: {count}");
+        }
+        let _ = writeln!(
+            out,
+            "  sweeps: {} dispatched, {} completed in-run, {} after the horizon",
+            self.drain.sweeps_dispatched,
+            self.drain.sweeps_completed_in_run,
+            self.drain.sweeps_completed_post_run,
+        );
+        let _ = writeln!(
+            out,
+            "  swept machines returned to standby: {} | confirmed faulty: {}",
+            self.drain.machines_returned_to_standby, self.drain.machines_confirmed_faulty,
+        );
+        for sweep in &self.completed_sweeps {
+            let _ = writeln!(
+                out,
+                "  sweep {}#{} at {}: {} passed, {} failed",
+                sweep.job,
+                sweep.seq,
+                sweep.completed_at,
+                sweep.passed.len(),
+                sweep.failed.len(),
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "\n-- shared standby pool: target {} (vs {} if provisioned per job), {} ready at end",
+            self.shared_pool_target, self.solo_pool_sum, self.shared_pool_ready_final,
+        );
+        let _ = writeln!(
+            out,
+            "\nfleet ETTR = {:.4} over {} incidents",
+            self.fleet_ettr(),
+            self.total_incidents()
+        );
+        out
+    }
+}

@@ -1,0 +1,300 @@
+//! The fleet runner: N concurrent jobs, one shared standby pool, one event
+//! loop.
+//!
+//! Each job is a steppable [`JobExecution`]; the runner repeatedly advances
+//! the job whose next event (injected fault or job end) is earliest, which
+//! keeps every draw on the shared warm-standby pool in global time order.
+//! Per-job seeds are forked deterministically from the fleet seed, and ties
+//! between simultaneous events are broken by a dedicated `SimRng` stream —
+//! the whole interleaving is a pure function of the fleet seed.
+//!
+//! After every incident the runner feeds the closed dossier to the
+//! [`IncidentWarehouse`], the [`RepeatOffenderLedger`] (whose offender set is
+//! pushed into every job's monitor), and the [`BacklogDrainer`] (whose
+//! completed stress-test sweeps return cleared machines to the shared pool).
+
+use byterobust_core::{JobConfig, JobExecution, RobustController, SegmentOutcome};
+use byterobust_recovery::WarmStandbyPool;
+use byterobust_sim::{SimDuration, SimRng, SimTime};
+use byterobust_trainsim::JobSpec;
+
+use crate::drainer::BacklogDrainer;
+use crate::ledger::RepeatOffenderLedger;
+use crate::report::{DrainSummary, FleetJobReport, FleetReport};
+use crate::warehouse::IncidentWarehouse;
+
+/// One job in the fleet: a label (unique within the fleet) plus its
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct FleetJob {
+    /// Display label; also the warehouse shard key.
+    pub label: String,
+    /// The job's configuration.
+    pub config: JobConfig,
+}
+
+impl FleetJob {
+    /// Creates a labelled fleet job.
+    pub fn new(label: impl Into<String>, config: JobConfig) -> Self {
+        FleetJob {
+            label: label.into(),
+            config,
+        }
+    }
+}
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The jobs to run concurrently.
+    pub jobs: Vec<FleetJob>,
+    /// Incidents across jobs at or above which a machine is a repeat
+    /// offender.
+    pub repeat_offender_threshold: usize,
+    /// Warehouse time-bucket width.
+    pub bucket_width: SimDuration,
+}
+
+impl FleetConfig {
+    /// A fleet with default warehouse bucketing (1 h) and offender threshold
+    /// (2 incidents).
+    pub fn new(jobs: Vec<FleetJob>) -> Self {
+        FleetConfig {
+            jobs,
+            repeat_offender_threshold: 2,
+            bucket_width: SimDuration::from_hours(1),
+        }
+    }
+
+    /// The three-job drill used by `examples/fleet_drill.rs`, the fleet bench
+    /// panel, and the integration tests: a dense 16-machine job, an
+    /// MoE-flavoured variant (more manual restarts and risky user code,
+    /// §8.1.3), and a Table-5-scale 128-machine dense job, all at fault rates
+    /// aggressive enough to produce a rich cross-job incident mix within the
+    /// simulated window.
+    pub fn small_drill() -> Self {
+        let dense = JobConfig::small_test();
+
+        let mut moe = JobConfig::small_test();
+        moe.job.model.name = "tiny-moe-test".to_string();
+        moe.fault.manual_restart_interval = SimDuration::from_hours(4);
+        moe.fault.user_code_fraction = 0.45;
+
+        let mut table5 = JobConfig::for_job(JobSpec::table5_70b_small(), SimDuration::from_days(1));
+        table5.fault.reference_mtbf = SimDuration::from_hours(2);
+        table5.fault.reference_gpus = table5.job.world_size();
+        table5.fault.manual_restart_interval = SimDuration::from_hours(8);
+        table5.series_points = 50;
+
+        FleetConfig::new(vec![
+            FleetJob::new("dense-small", dense),
+            FleetJob::new("moe-small", moe),
+            FleetJob::new("table5-70b", table5),
+        ])
+    }
+
+    /// Total machine demand across the fleet: the sum of every job's
+    /// footprint. This is what sizes the shared standby pool. (Machine
+    /// *identity* is a separate matter — jobs address one fleet-wide
+    /// `MachineId` namespace so recorded incident history composes across
+    /// jobs; see the crate docs for that modelling note.)
+    pub fn total_machines(&self) -> usize {
+        self.jobs.iter().map(|job| job.config.job.machines()).sum()
+    }
+
+    /// The shared warm-standby pool: the default (per-job) pool sizing
+    /// applied to the *fleet's* total machine count, so the comparison
+    /// against [`FleetConfig::solo_pool_sum`] is apples to apples. Sharing
+    /// is the point — the binomial P99 of the pooled demand is smaller than
+    /// the sum of per-job P99 pools.
+    pub fn shared_pool(&self) -> WarmStandbyPool {
+        RobustController::default_standby_pool(self.total_machines().max(1))
+    }
+
+    /// What provisioning standbys per job (no sharing) would cost: the sum of
+    /// each job's default P99 pool.
+    pub fn solo_pool_sum(&self) -> usize {
+        self.jobs
+            .iter()
+            .map(|job| {
+                RobustController::default_standby_pool(job.config.job.machines()).target_size()
+            })
+            .sum()
+    }
+}
+
+/// Runs a fleet to completion, deterministically from one seed.
+#[derive(Debug, Clone)]
+pub struct FleetRunner {
+    config: FleetConfig,
+    seed: u64,
+}
+
+impl FleetRunner {
+    /// Creates a runner. Job labels must be unique (they key the warehouse
+    /// shards).
+    pub fn new(config: FleetConfig, seed: u64) -> Self {
+        for (i, a) in config.jobs.iter().enumerate() {
+            for b in &config.jobs[i + 1..] {
+                assert_ne!(a.label, b.label, "fleet job labels must be unique");
+            }
+        }
+        FleetRunner { config, seed }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The per-job seeds this runner will use, forked from the fleet seed in
+    /// job order. Exposed so solo baselines can replay the exact same jobs.
+    pub fn job_seeds(&self) -> Vec<u64> {
+        let mut rng = SimRng::new(self.seed);
+        (0..self.config.jobs.len())
+            .map(|i| rng.fork(i as u64 + 1).seed())
+            .collect()
+    }
+
+    /// Runs every job to completion and returns the fleet report.
+    pub fn run(&self) -> FleetReport {
+        let mut rng = SimRng::new(self.seed);
+        let mut executions: Vec<JobExecution> = self
+            .config
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| JobExecution::new(job.config.clone(), rng.fork(i as u64 + 1).seed()))
+            .collect();
+        let mut tie_rng = rng.fork(0xF1EE7);
+
+        let mut pool = self.config.shared_pool();
+        let pool_target = pool.target_size();
+        let mut warehouse = IncidentWarehouse::new(self.config.bucket_width);
+        let mut drainer = BacklogDrainer::new();
+        let mut ledger = RepeatOffenderLedger::new(self.config.repeat_offender_threshold);
+        let mut machines_returned = 0usize;
+        let mut machines_confirmed_faulty = 0usize;
+        let mut sweeps_completed_in_run = 0usize;
+
+        loop {
+            // The unfinished job with the earliest next event; simultaneous
+            // events are broken by the interleave stream.
+            let mut earliest: Option<SimTime> = None;
+            let mut tied: Vec<usize> = Vec::new();
+            for (i, execution) in executions.iter().enumerate() {
+                if execution.is_finished() {
+                    continue;
+                }
+                let at = execution.next_event_at();
+                match earliest {
+                    None => {
+                        earliest = Some(at);
+                        tied = vec![i];
+                    }
+                    Some(best) if at < best => {
+                        earliest = Some(at);
+                        tied = vec![i];
+                    }
+                    Some(best) if at == best => tied.push(i),
+                    Some(_) => {}
+                }
+            }
+            let Some(event_at) = earliest else { break };
+            let index = if tied.len() == 1 {
+                tied[0]
+            } else {
+                tied[tie_rng.index(tied.len())]
+            };
+
+            // Complete sweeps due by this event and return cleared machines
+            // to the shared pool before the next job draws from it.
+            for sweep in drainer.tick(event_at) {
+                pool.restock(sweep.passed.len());
+                machines_returned += sweep.passed.len();
+                machines_confirmed_faulty += sweep.failed.len();
+                sweeps_completed_in_run += 1;
+            }
+
+            let label = self.config.jobs[index].label.clone();
+            match executions[index].advance_with_pool(&mut pool) {
+                SegmentOutcome::Finished => {}
+                SegmentOutcome::Incident { seq } => {
+                    let dossier = executions[index]
+                        .incident_store()
+                        .get(seq)
+                        .expect("closed incident is stored")
+                        .clone();
+                    let closed_at = dossier.at + dossier.cost.total();
+                    ledger.observe(&dossier);
+                    drainer.dispatch(&label, &dossier, closed_at);
+                    warehouse.insert(&label, dossier);
+                    // Refresh every job's monitor with the cross-job offender
+                    // set so the next incident anywhere benefits from it.
+                    let offenders = ledger.offenders();
+                    for execution in executions.iter_mut() {
+                        execution
+                            .controller_mut()
+                            .monitor_mut()
+                            .set_repeat_offenders(offenders.clone());
+                    }
+                }
+            }
+        }
+
+        // Sweeps still in flight when the last job ends complete at the fleet
+        // horizon (they were dispatched in-run; the machines just come back
+        // after the final job's end time).
+        let horizon = self
+            .config
+            .jobs
+            .iter()
+            .map(|job| SimTime::ZERO + job.config.duration)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            + SimDuration::from_days(365);
+        let mut sweeps_completed_post_run = 0usize;
+        for sweep in drainer.tick(horizon) {
+            pool.restock(sweep.passed.len());
+            machines_returned += sweep.passed.len();
+            machines_confirmed_faulty += sweep.failed.len();
+            sweeps_completed_post_run += 1;
+        }
+
+        let seeds = self.job_seeds();
+        let jobs: Vec<FleetJobReport> = executions
+            .into_iter()
+            .zip(self.config.jobs.iter())
+            .zip(seeds)
+            .map(|((execution, job), seed)| FleetJobReport {
+                label: job.label.clone(),
+                seed,
+                machines: job.config.job.machines(),
+                report: execution.into_report(),
+            })
+            .collect();
+
+        let escalation_counts = drainer.escalation_counts().clone();
+        let drain = DrainSummary {
+            sweeps_dispatched: drainer.sweeps_dispatched(),
+            sweeps_completed_in_run,
+            sweeps_completed_post_run,
+            machines_returned_to_standby: machines_returned,
+            machines_confirmed_faulty,
+            escalation_counts,
+        };
+
+        FleetReport {
+            seed: self.seed,
+            jobs,
+            warehouse,
+            completed_sweeps: drainer.completed().to_vec(),
+            drain,
+            repeat_offenders: ledger.offender_counts(),
+            repeat_offender_threshold: ledger.threshold(),
+            shared_pool_target: pool_target,
+            shared_pool_ready_final: pool.ready(),
+            solo_pool_sum: self.config.solo_pool_sum(),
+        }
+    }
+}

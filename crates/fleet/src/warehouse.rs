@@ -1,0 +1,523 @@
+//! The cross-job incident warehouse: per-job store shards under secondary
+//! indexes.
+//!
+//! A fleet run produces one [`IncidentStore`] per job. The warehouse merges
+//! them without flattening: each store stays intact as a *shard* (so per-job
+//! queries and postmortems keep working), while four secondary indexes — by
+//! machine, by severity, by category, and by time bucket — map straight to
+//! dossier references so fleet-wide queries are index lookups instead of
+//! scans over every shard. [`IncidentWarehouse::linear_scan`] is the
+//! brute-force oracle the tests compare the indexed paths against.
+//!
+//! Results are always returned in a canonical order — (start time, job
+//! label, seq) — which makes warehouse output independent of shard insertion
+//! order.
+
+use std::collections::BTreeMap;
+
+use byterobust_cluster::{FaultCategory, FaultKind, MachineId};
+use byterobust_incident::{IncidentDossier, IncidentQuery, IncidentStore, Severity};
+use byterobust_sim::{SimDuration, SimTime};
+
+/// Reference to one dossier: shard index plus the dossier's seq within it
+/// (resolved by the store's binary-searched `get`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DossierKey {
+    shard: usize,
+    seq: u64,
+}
+
+/// One query result: the job the incident belongs to, and its dossier.
+#[derive(Debug, Clone, Copy)]
+pub struct WarehouseHit<'a> {
+    /// Label of the job whose store holds the dossier.
+    pub job: &'a str,
+    /// The dossier itself.
+    pub dossier: &'a IncidentDossier,
+}
+
+impl WarehouseHit<'_> {
+    /// The (job, seq) identity of the hit, the canonical comparison key for
+    /// equivalence tests.
+    pub fn id(&self) -> (&str, u64) {
+        (self.job, self.dossier.seq)
+    }
+}
+
+/// The indexed, sharded fleet incident warehouse.
+#[derive(Debug, Clone)]
+pub struct IncidentWarehouse {
+    bucket_width: SimDuration,
+    shards: Vec<(String, IncidentStore)>,
+    by_machine: BTreeMap<MachineId, Vec<DossierKey>>,
+    by_severity: BTreeMap<Severity, Vec<DossierKey>>,
+    by_category: BTreeMap<FaultCategory, Vec<DossierKey>>,
+    by_bucket: BTreeMap<u64, Vec<DossierKey>>,
+}
+
+impl IncidentWarehouse {
+    /// An empty warehouse whose time index buckets incident start times at
+    /// `bucket_width` granularity.
+    pub fn new(bucket_width: SimDuration) -> Self {
+        assert!(
+            !bucket_width.is_zero(),
+            "time-bucket width must be positive"
+        );
+        IncidentWarehouse {
+            bucket_width,
+            shards: Vec::new(),
+            by_machine: BTreeMap::new(),
+            by_severity: BTreeMap::new(),
+            by_category: BTreeMap::new(),
+            by_bucket: BTreeMap::new(),
+        }
+    }
+
+    /// The time-bucket width in effect.
+    pub fn bucket_width(&self) -> SimDuration {
+        self.bucket_width
+    }
+
+    fn bucket_of(&self, at: SimTime) -> u64 {
+        (at.as_secs_f64() / self.bucket_width.as_secs_f64()).floor() as u64
+    }
+
+    fn shard_index(&mut self, job: &str) -> usize {
+        match self.shards.iter().position(|(label, _)| label == job) {
+            Some(index) => index,
+            None => {
+                self.shards.push((job.to_string(), IncidentStore::new()));
+                self.shards.len() - 1
+            }
+        }
+    }
+
+    /// Inserts one closed incident into the named job's shard and every
+    /// secondary index.
+    pub fn insert(&mut self, job: &str, dossier: IncidentDossier) {
+        let shard = self.shard_index(job);
+        let key = DossierKey {
+            shard,
+            seq: dossier.seq,
+        };
+        // Machine index: same "involves" semantics as `IncidentQuery::machine`
+        // (evicted machines plus machines mentioned in the capture evidence).
+        let mut machines = dossier.evicted.clone();
+        machines.extend(dossier.capture.machines_mentioned());
+        machines.sort();
+        machines.dedup();
+        for machine in machines {
+            self.by_machine.entry(machine).or_default().push(key);
+        }
+        self.by_severity
+            .entry(dossier.classification.severity)
+            .or_default()
+            .push(key);
+        self.by_category
+            .entry(dossier.category)
+            .or_default()
+            .push(key);
+        self.by_bucket
+            .entry(self.bucket_of(dossier.at))
+            .or_default()
+            .push(key);
+        self.shards[shard].1.insert(dossier);
+    }
+
+    /// Ingests a whole per-job store (e.g. from a finished [`JobReport`]
+    /// (`byterobust_core::JobReport`)'s `incident_store`).
+    pub fn ingest_store(&mut self, job: &str, store: &IncidentStore) {
+        for dossier in store.all() {
+            self.insert(job, dossier.clone());
+        }
+    }
+
+    /// The per-job shard for a label, if that job has any incidents.
+    pub fn shard(&self, job: &str) -> Option<&IncidentStore> {
+        self.shards
+            .iter()
+            .find(|(label, _)| label == job)
+            .map(|(_, store)| store)
+    }
+
+    /// Job labels with at least one incident, sorted.
+    pub fn jobs(&self) -> Vec<&str> {
+        let mut labels: Vec<&str> = self
+            .shards
+            .iter()
+            .map(|(label, _)| label.as_str())
+            .collect();
+        labels.sort_unstable();
+        labels
+    }
+
+    /// Total incidents across every shard.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|(_, store)| store.len()).sum()
+    }
+
+    /// Whether the warehouse holds no incidents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn resolve(&self, key: DossierKey) -> WarehouseHit<'_> {
+        let (label, store) = &self.shards[key.shard];
+        WarehouseHit {
+            job: label,
+            dossier: store
+                .get(key.seq)
+                .expect("indexed dossier is present in its shard"),
+        }
+    }
+
+    /// Resolves keys, applies the residual filter, and sorts into the
+    /// canonical (start time, job label, seq) order.
+    fn hits<'a>(
+        &'a self,
+        keys: impl IntoIterator<Item = DossierKey>,
+        query: &IncidentQuery,
+    ) -> Vec<WarehouseHit<'a>> {
+        let mut hits: Vec<WarehouseHit<'a>> = keys
+            .into_iter()
+            .map(|key| self.resolve(key))
+            .filter(|hit| query.matches(hit.dossier))
+            .collect();
+        hits.sort_by(|a, b| {
+            (a.dossier.at, a.job, a.dossier.seq).cmp(&(b.dossier.at, b.job, b.dossier.seq))
+        });
+        hits
+    }
+
+    /// Fleet-wide query answered through the most selective applicable index
+    /// (machine, then category, then severity floor, then time bucket), with
+    /// the remaining filters applied to the narrowed candidate set. Returns
+    /// exactly what [`IncidentWarehouse::linear_scan`] would, in the same
+    /// canonical order.
+    pub fn query(&self, query: &IncidentQuery) -> Vec<WarehouseHit<'_>> {
+        let keys: Vec<DossierKey> = if let Some(machine) = query.machine {
+            self.by_machine.get(&machine).cloned().unwrap_or_default()
+        } else if let Some(category) = query.category {
+            self.by_category.get(&category).cloned().unwrap_or_default()
+        } else if let Some(floor) = query.min_severity {
+            Severity::ALL
+                .iter()
+                .filter(|severity| severity.is_at_least(floor))
+                .flat_map(|severity| self.by_severity.get(severity).cloned().unwrap_or_default())
+                .collect()
+        } else if let Some((from, to)) = query.window {
+            if from >= to {
+                return Vec::new();
+            }
+            // The bucket range is over-inclusive at both edges; the residual
+            // `query.matches` filter enforces the exact half-open window.
+            self.by_bucket
+                .range(self.bucket_of(from)..=self.bucket_of(to))
+                .flat_map(|(_, keys)| keys.iter().copied())
+                .collect()
+        } else {
+            (0..self.shards.len())
+                .flat_map(|shard| {
+                    self.shards[shard]
+                        .1
+                        .all()
+                        .iter()
+                        .map(move |dossier| DossierKey {
+                            shard,
+                            seq: dossier.seq,
+                        })
+                })
+                .collect()
+        };
+        self.hits(keys, query)
+    }
+
+    /// Incidents involving a machine, across every job (the cross-job history
+    /// the repeat-offender ledger is built from).
+    pub fn by_machine(&self, machine: MachineId) -> Vec<WarehouseHit<'_>> {
+        self.query(&IncidentQuery::any().machine(machine))
+    }
+
+    /// Incidents at least as severe as `floor`, across every job.
+    pub fn at_least(&self, floor: Severity) -> Vec<WarehouseHit<'_>> {
+        self.query(&IncidentQuery::any().at_least(floor))
+    }
+
+    /// Incidents of one category, across every job.
+    pub fn by_category(&self, category: FaultCategory) -> Vec<WarehouseHit<'_>> {
+        self.query(&IncidentQuery::any().category(category))
+    }
+
+    /// Incidents starting in `[from, to)`, across every job, answered through
+    /// the time-bucket index.
+    pub fn window(&self, from: SimTime, to: SimTime) -> Vec<WarehouseHit<'_>> {
+        self.query(&IncidentQuery::any().window(from, to))
+    }
+
+    /// The brute-force oracle: evaluates the query by scanning every dossier
+    /// of every shard, no indexes involved. Kept for the invariant tests that
+    /// pin `query == linear_scan`.
+    pub fn linear_scan(&self, query: &IncidentQuery) -> Vec<WarehouseHit<'_>> {
+        let keys = (0..self.shards.len()).flat_map(|shard| {
+            self.shards[shard]
+                .1
+                .all()
+                .iter()
+                .map(move |dossier| DossierKey {
+                    shard,
+                    seq: dossier.seq,
+                })
+        });
+        self.hits(keys.collect::<Vec<_>>(), query)
+    }
+
+    /// Incident counts per severity class across the fleet.
+    pub fn severity_counts(&self) -> BTreeMap<Severity, usize> {
+        self.by_severity
+            .iter()
+            .map(|(&severity, keys)| (severity, keys.len()))
+            .collect()
+    }
+
+    /// Incident counts per category across the fleet.
+    pub fn category_counts(&self) -> BTreeMap<FaultCategory, usize> {
+        self.by_category
+            .iter()
+            .map(|(&category, keys)| (category, keys.len()))
+            .collect()
+    }
+
+    /// Per-machine incident counts across the fleet (index-sized, no scan).
+    pub fn machine_incident_counts(&self) -> BTreeMap<MachineId, usize> {
+        self.by_machine
+            .iter()
+            .map(|(&machine, keys)| (machine, keys.len()))
+            .collect()
+    }
+
+    /// Mean and max resolution time per symptom in seconds, across every
+    /// shard (the Table 6 "ours" columns, fleet-wide).
+    pub fn resolution_time_by_symptom(&self) -> BTreeMap<FaultKind, (f64, f64)> {
+        let mut acc: BTreeMap<FaultKind, Vec<f64>> = BTreeMap::new();
+        for (_, store) in &self.shards {
+            for dossier in store.all() {
+                acc.entry(dossier.kind)
+                    .or_default()
+                    .push(dossier.resolution_time().as_secs_f64());
+            }
+        }
+        acc.into_iter()
+            .map(|(kind, values)| {
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                let max = values.iter().copied().fold(0.0, f64::max);
+                (kind, (mean, max))
+            })
+            .collect()
+    }
+
+    /// Fleet-wide attribution scoring: `(matching, total)` incidents whose
+    /// concluded cause equals ground truth, per category.
+    pub fn attribution_stats(&self) -> BTreeMap<FaultCategory, (usize, usize)> {
+        let mut stats: BTreeMap<FaultCategory, (usize, usize)> = BTreeMap::new();
+        for (_, store) in &self.shards {
+            for (category, (matching, total)) in store.attribution_stats() {
+                let entry = stats.entry(category).or_insert((0, 0));
+                entry.0 += matching;
+                entry.1 += total;
+            }
+        }
+        stats
+    }
+
+    /// Fleet-wide attribution accuracy in `[0, 1]` (1.0 when empty).
+    pub fn attribution_accuracy(&self) -> f64 {
+        let (matching, total) = self
+            .attribution_stats()
+            .values()
+            .fold((0usize, 0usize), |(m, t), &(dm, dt)| (m + dm, t + dt));
+        if total == 0 {
+            1.0
+        } else {
+            matching as f64 / total as f64
+        }
+    }
+}
+
+impl Default for IncidentWarehouse {
+    /// One-hour time buckets.
+    fn default() -> Self {
+        IncidentWarehouse::new(SimDuration::from_hours(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byterobust_cluster::RootCause;
+    use byterobust_incident::{
+        ClassificationInput, ClassificationMatrix, IncidentCapture, ResolutionMechanism,
+    };
+    use byterobust_recovery::FailoverCost;
+
+    fn dossier(
+        seq: u64,
+        at_hours: u64,
+        kind: FaultKind,
+        evicted: Vec<MachineId>,
+    ) -> IncidentDossier {
+        let cost = FailoverCost {
+            detection: SimDuration::from_secs(30),
+            localization: SimDuration::from_secs(120),
+            scheduling: SimDuration::from_secs(60),
+            pod_build: SimDuration::ZERO,
+            checkpoint_load: SimDuration::from_secs(20),
+            recompute: SimDuration::from_secs(15),
+        };
+        let mechanism = if evicted.is_empty() {
+            ResolutionMechanism::Reattempt
+        } else {
+            ResolutionMechanism::StopTimeEviction
+        };
+        let classification =
+            ClassificationMatrix::byterobust_default().classify(&ClassificationInput {
+                category: kind.category(),
+                root_cause: RootCause::Infrastructure,
+                mechanism,
+                blast_radius: evicted.len(),
+                over_evicted: false,
+                reproducible: true,
+                downtime: cost.total(),
+            });
+        IncidentDossier {
+            seq,
+            at: SimTime::from_hours(at_hours),
+            kind,
+            category: kind.category(),
+            root_cause: RootCause::Infrastructure,
+            concluded_cause: RootCause::Infrastructure,
+            mechanism,
+            cost,
+            evicted,
+            over_evicted: false,
+            resumed_step: 100 * seq,
+            classification,
+            capture: IncidentCapture::empty(seq, kind, SimTime::from_hours(at_hours)),
+        }
+    }
+
+    fn warehouse() -> IncidentWarehouse {
+        let mut w = IncidentWarehouse::default();
+        w.insert(
+            "alpha",
+            dossier(1, 1, FaultKind::CudaError, vec![MachineId(3)]),
+        );
+        w.insert(
+            "alpha",
+            dossier(2, 5, FaultKind::JobHang, vec![MachineId(4)]),
+        );
+        w.insert(
+            "beta",
+            dossier(1, 2, FaultKind::CudaError, vec![MachineId(3)]),
+        );
+        w.insert(
+            "beta",
+            dossier(2, 30, FaultKind::CodeDataAdjustment, vec![]),
+        );
+        w
+    }
+
+    fn ids(hits: &[WarehouseHit<'_>]) -> Vec<(String, u64)> {
+        hits.iter()
+            .map(|h| (h.job.to_string(), h.dossier.seq))
+            .collect()
+    }
+
+    #[test]
+    fn machine_index_spans_jobs() {
+        let w = warehouse();
+        assert_eq!(
+            ids(&w.by_machine(MachineId(3))),
+            vec![("alpha".to_string(), 1), ("beta".to_string(), 1)]
+        );
+        assert_eq!(w.machine_incident_counts()[&MachineId(3)], 2);
+        assert!(w.by_machine(MachineId(99)).is_empty());
+    }
+
+    #[test]
+    fn category_and_severity_indexes() {
+        let w = warehouse();
+        assert_eq!(w.by_category(FaultCategory::ManualRestart).len(), 1);
+        assert_eq!(w.category_counts()[&FaultCategory::Explicit], 2);
+        let severe = w.at_least(Severity::Sev3);
+        assert_eq!(severe.len(), 3, "evicting incidents are at least Sev3");
+    }
+
+    #[test]
+    fn window_uses_buckets_but_keeps_half_open_semantics() {
+        let w = warehouse();
+        let hits = w.window(SimTime::from_hours(1), SimTime::from_hours(5));
+        assert_eq!(
+            ids(&hits),
+            vec![("alpha".to_string(), 1), ("beta".to_string(), 1)]
+        );
+        assert!(w
+            .window(SimTime::from_hours(3), SimTime::from_hours(3))
+            .is_empty());
+    }
+
+    #[test]
+    fn every_indexed_query_matches_the_linear_scan() {
+        let w = warehouse();
+        let queries = [
+            IncidentQuery::any(),
+            IncidentQuery::any().machine(MachineId(3)),
+            IncidentQuery::any().machine(MachineId(4)),
+            IncidentQuery::any().category(FaultCategory::Explicit),
+            IncidentQuery::any().at_least(Severity::Sev2),
+            IncidentQuery::any().at_least(Severity::Sev4),
+            IncidentQuery::any().window(SimTime::ZERO, SimTime::from_hours(6)),
+            IncidentQuery::any()
+                .machine(MachineId(3))
+                .kind(FaultKind::CudaError),
+        ];
+        for query in queries {
+            assert_eq!(
+                ids(&w.query(&query)),
+                ids(&w.linear_scan(&query)),
+                "query {query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_order_does_not_change_results() {
+        let mut a = IncidentWarehouse::default();
+        let mut b = IncidentWarehouse::default();
+        let alpha = [
+            dossier(1, 1, FaultKind::CudaError, vec![MachineId(3)]),
+            dossier(2, 5, FaultKind::JobHang, vec![MachineId(4)]),
+        ];
+        let beta = [dossier(1, 2, FaultKind::CudaError, vec![MachineId(3)])];
+        for d in &alpha {
+            a.insert("alpha", d.clone());
+        }
+        for d in &beta {
+            a.insert("beta", d.clone());
+        }
+        for d in &beta {
+            b.insert("beta", d.clone());
+        }
+        for d in &alpha {
+            b.insert("alpha", d.clone());
+        }
+        assert_eq!(
+            ids(&a.query(&IncidentQuery::any())),
+            ids(&b.query(&IncidentQuery::any()))
+        );
+        assert_eq!(
+            ids(&a.by_machine(MachineId(3))),
+            ids(&b.by_machine(MachineId(3)))
+        );
+        assert_eq!(a.jobs(), b.jobs());
+    }
+}

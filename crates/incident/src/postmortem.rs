@@ -79,9 +79,11 @@ pub struct Postmortem {
     pub kind: FaultKind,
     /// Incident category.
     pub category: FaultCategory,
-    /// Ground-truth root cause (the simulator knows it; a production
-    /// postmortem records the concluded cause).
+    /// Ground-truth root cause (only the simulator knows it).
     pub root_cause: RootCause,
+    /// The root cause the control plane concluded from its evidence — what a
+    /// production postmortem would actually record.
+    pub concluded_cause: RootCause,
     /// Mechanism that resolved the incident.
     pub mechanism: ResolutionMechanism,
     /// When the incident opened.
@@ -148,6 +150,7 @@ impl Postmortem {
             kind: dossier.kind,
             category: dossier.category,
             root_cause: dossier.root_cause,
+            concluded_cause: dossier.concluded_cause,
             mechanism: dossier.mechanism,
             opened_at: dossier.capture.opened_at,
             closed_at: dossier.capture.closed_at,
@@ -180,6 +183,16 @@ impl Postmortem {
             self.rec_code,
             self.category,
             self.root_cause,
+        );
+        let _ = writeln!(
+            out,
+            "concluded cause: {:?}{}",
+            self.concluded_cause,
+            if self.concluded_cause == self.root_cause {
+                " (matches ground truth)"
+            } else {
+                " (MISATTRIBUTED)"
+            }
         );
         let _ = writeln!(
             out,
@@ -291,6 +304,7 @@ mod tests {
             kind: FaultKind::CudaError,
             category: FaultCategory::Explicit,
             root_cause: RootCause::Infrastructure,
+            concluded_cause: RootCause::Infrastructure,
             mechanism: ResolutionMechanism::StopTimeEviction,
             cost,
             evicted: vec![MachineId(7)],

@@ -461,6 +461,27 @@ impl FlightRecorder {
         true
     }
 
+    /// Machines named by the open incident's *context* entries recorded at or
+    /// after `since` — i.e. the fault-time telemetry signatures that landed in
+    /// the background ring just before the incident opened. This is the
+    /// recorded-data view of "which machines did the symptom surface on",
+    /// available to the controller without consulting injector ground truth.
+    /// Returns an empty list when no incident is open. Sorted, deduplicated.
+    pub fn context_machines_since(&self, since: SimTime) -> Vec<MachineId> {
+        let Some(active) = &self.active else {
+            return Vec::new();
+        };
+        let mut machines: Vec<MachineId> = active
+            .context
+            .iter()
+            .filter(|entry| entry.at >= since)
+            .flat_map(|entry| entry.event.machines())
+            .collect();
+        machines.sort();
+        machines.dedup();
+        machines
+    }
+
     /// Closes the open incident, freezing its capture. Returns `None` if no
     /// incident is open.
     pub fn close_incident(&mut self, at: SimTime) -> Option<IncidentCapture> {

@@ -44,6 +44,12 @@ pub struct IncidentDossier {
     pub category: FaultCategory,
     /// Ground-truth root cause.
     pub root_cause: RootCause,
+    /// The root cause the control plane itself *concluded* from its evidence
+    /// (diagnoser verdicts, analyzer decisions, replay outcomes) — what a
+    /// production postmortem would record. Comparing it against the
+    /// simulator's `root_cause` ground truth is how attribution accuracy is
+    /// scored (the §9 false-positive/negative discussion).
+    pub concluded_cause: RootCause,
     /// Mechanism that resolved it.
     pub mechanism: ResolutionMechanism,
     /// Unproductive-time breakdown.
@@ -181,9 +187,14 @@ impl IncidentStore {
         IncidentStore::default()
     }
 
-    /// Appends a closed incident's dossier.
+    /// Inserts a closed incident's dossier, keeping the store sorted by
+    /// sequence number. The lifecycle driver closes incidents in seq order,
+    /// so the common case is an O(1) append; out-of-order inserts (synthetic
+    /// dossiers, shard merges) are placed at their sorted position so
+    /// [`IncidentStore::get`] can binary-search.
     pub fn insert(&mut self, dossier: IncidentDossier) {
-        self.dossiers.push(dossier);
+        let pos = self.dossiers.partition_point(|d| d.seq <= dossier.seq);
+        self.dossiers.insert(pos, dossier);
     }
 
     /// Number of stored incidents.
@@ -196,7 +207,9 @@ impl IncidentStore {
         self.dossiers.is_empty()
     }
 
-    /// All dossiers, in insertion (time) order.
+    /// All dossiers, sorted by sequence number (which is also time order for
+    /// dossiers produced by a job run: the injector's seq is monotone in the
+    /// fault time).
     pub fn all(&self) -> &[IncidentDossier] {
         &self.dossiers
     }
@@ -209,9 +222,14 @@ impl IncidentStore {
             .collect()
     }
 
-    /// Looks up one incident by sequence number.
+    /// Looks up one incident by sequence number. The store is kept sorted by
+    /// seq (see [`IncidentStore::insert`]), so this is a binary search, not a
+    /// linear scan.
     pub fn get(&self, seq: u64) -> Option<&IncidentDossier> {
-        self.dossiers.iter().find(|dossier| dossier.seq == seq)
+        self.dossiers
+            .binary_search_by_key(&seq, |dossier| dossier.seq)
+            .ok()
+            .map(|index| &self.dossiers[index])
     }
 
     /// Generates the postmortem for one stored incident.
@@ -325,6 +343,36 @@ impl IncidentStore {
         (total, over)
     }
 
+    /// Attribution scoring per incident category: how many incidents'
+    /// concluded root cause matched the simulator's ground truth, as
+    /// `(matching, total)` pairs. This is the groundwork for the paper's §9
+    /// false-positive/false-negative table: a mismatch means the control
+    /// plane resolved the incident under a wrong theory of its cause.
+    pub fn attribution_stats(&self) -> BTreeMap<FaultCategory, (usize, usize)> {
+        let mut stats: BTreeMap<FaultCategory, (usize, usize)> = BTreeMap::new();
+        for dossier in &self.dossiers {
+            let entry = stats.entry(dossier.category).or_insert((0, 0));
+            if dossier.concluded_cause == dossier.root_cause {
+                entry.0 += 1;
+            }
+            entry.1 += 1;
+        }
+        stats
+    }
+
+    /// Overall attribution accuracy in `[0, 1]` (1.0 for an empty store).
+    pub fn attribution_accuracy(&self) -> f64 {
+        if self.dossiers.is_empty() {
+            return 1.0;
+        }
+        let matching = self
+            .dossiers
+            .iter()
+            .filter(|dossier| dossier.concluded_cause == dossier.root_cause)
+            .count();
+        matching as f64 / self.dossiers.len() as f64
+    }
+
     /// The operational backlog this job generated: every (incident, follow-up
     /// escalation) pair, in time order. This is the backlog-feedback half of
     /// the flight-recorder contract: classifications don't just label
@@ -376,6 +424,7 @@ mod tests {
             kind,
             category: kind.category(),
             root_cause: RootCause::Infrastructure,
+            concluded_cause: RootCause::Infrastructure,
             mechanism,
             cost,
             evicted,
@@ -454,6 +503,87 @@ mod tests {
             .query(&IncidentQuery::any().window(SimTime::from_hours(1), SimTime::from_hours(5)));
         // Includes hour-1 and hour-2 incidents, excludes the hour-5 one.
         assert_eq!(hits.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn window_boundary_semantics() {
+        let store = store();
+        let seqs = |from: SimTime, to: SimTime| -> Vec<u64> {
+            store
+                .query(&IncidentQuery::any().window(from, to))
+                .iter()
+                .map(|d| d.seq)
+                .collect()
+        };
+        // `from` is inclusive: a window starting exactly at an incident's
+        // start time includes it.
+        assert_eq!(
+            seqs(SimTime::from_hours(5), SimTime::from_hours(6)),
+            vec![3]
+        );
+        // `to` is exclusive: a window ending exactly at an incident's start
+        // time excludes it.
+        assert_eq!(
+            seqs(SimTime::from_hours(2), SimTime::from_hours(5)),
+            vec![2]
+        );
+        // An empty window (`from == to`) matches nothing, even when an
+        // incident starts exactly at that instant.
+        assert!(seqs(SimTime::from_hours(5), SimTime::from_hours(5)).is_empty());
+        // An inverted window matches nothing.
+        assert!(seqs(SimTime::from_hours(9), SimTime::from_hours(1)).is_empty());
+        // A window covering everything returns the whole store.
+        assert_eq!(
+            seqs(SimTime::ZERO, SimTime::from_hours(1000)),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn inserts_keep_the_store_sorted_by_seq() {
+        // Dossiers inserted out of order land at their sorted position, so
+        // `get` can binary-search. This pins the sorted-insert invariant.
+        let mut store = IncidentStore::new();
+        for seq in [5u64, 1, 9, 3, 7] {
+            store.insert(dossier(
+                seq,
+                seq,
+                FaultKind::CudaError,
+                ResolutionMechanism::Reattempt,
+                vec![],
+            ));
+        }
+        let seqs: Vec<u64> = store.all().iter().map(|d| d.seq).collect();
+        assert_eq!(seqs, vec![1, 3, 5, 7, 9]);
+        for seq in [1u64, 3, 5, 7, 9] {
+            assert_eq!(store.get(seq).map(|d| d.seq), Some(seq));
+        }
+        assert!(store.get(2).is_none());
+        assert!(store.get(10).is_none());
+        assert!(store.get(0).is_none());
+    }
+
+    #[test]
+    fn attribution_stats_score_concluded_vs_ground_truth() {
+        let mut store = store();
+        assert!((store.attribution_accuracy() - 1.0).abs() < 1e-12);
+        // A transient fault the control plane wrongly pinned on hardware.
+        let mut wrong = dossier(
+            9,
+            11,
+            FaultKind::InfinibandError,
+            ResolutionMechanism::StopTimeEviction,
+            vec![MachineId(7)],
+        );
+        wrong.root_cause = RootCause::Transient;
+        wrong.concluded_cause = RootCause::Infrastructure;
+        store.insert(wrong);
+        let stats = store.attribution_stats();
+        // Explicit incidents: the two CUDA errors (correctly attributed) plus
+        // the misattributed InfiniBand transient.
+        let (matching, total) = stats[&FaultCategory::Explicit];
+        assert_eq!((matching, total), (2, 3));
+        assert!(store.attribution_accuracy() < 1.0);
     }
 
     #[test]

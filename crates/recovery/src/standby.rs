@@ -133,6 +133,15 @@ impl WarmStandbyPool {
         StandbyGrant { granted, shortfall }
     }
 
+    /// Returns cleared machines to the ready pool — over-evicted machines
+    /// that passed a background stress-test sweep re-enter as warm standbys
+    /// (they are already provisioned; only the sweep stood between them and
+    /// the pool). The pool may transiently exceed its target size; the next
+    /// `request` simply provisions less.
+    pub fn restock(&mut self, machines: usize) {
+        self.ready += machines;
+    }
+
     /// Time for granted standbys to join the job (wake from sleep + barrier).
     pub fn awaken_time(&self) -> SimDuration {
         self.config.awaken_time
@@ -211,6 +220,21 @@ mod tests {
         p.tick(SimTime::ZERO + p.provision_time());
         assert_eq!(p.ready(), consumed);
         assert_eq!(p.in_flight(), 0);
+    }
+
+    #[test]
+    fn restocked_machines_are_immediately_grantable() {
+        let mut p = pool();
+        let consumed = p.target_size();
+        p.request(consumed, SimTime::ZERO);
+        assert_eq!(p.ready(), 0);
+        // A swept machine returns before provisioning completes and covers
+        // the next eviction with no shortfall.
+        p.restock(1);
+        assert_eq!(p.ready(), 1);
+        let grant = p.request(1, SimTime::ZERO + SimDuration::from_secs(30));
+        assert_eq!(grant.granted, 1);
+        assert_eq!(grant.shortfall, 0);
     }
 
     #[test]

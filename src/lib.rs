@@ -26,6 +26,7 @@ pub use byterobust_analyzer as analyzer;
 pub use byterobust_checkpoint as checkpoint;
 pub use byterobust_cluster as cluster;
 pub use byterobust_core as core;
+pub use byterobust_fleet as fleet;
 pub use byterobust_incident as incident;
 pub use byterobust_parallelism as parallelism;
 pub use byterobust_recovery as recovery;
@@ -40,6 +41,7 @@ pub mod prelude {
     pub use byterobust_checkpoint::prelude::*;
     pub use byterobust_cluster::prelude::*;
     pub use byterobust_core::prelude::*;
+    pub use byterobust_fleet::prelude::*;
     pub use byterobust_incident::prelude::*;
     pub use byterobust_parallelism::prelude::*;
     pub use byterobust_recovery::prelude::*;

@@ -1,0 +1,219 @@
+//! Fleet orchestration integration tests: determinism of the fleet report,
+//! the warehouse index-vs-linear-scan invariant, shard-merge determinism,
+//! in-run backlog draining, and the repeat-offender ledger.
+
+use std::sync::OnceLock;
+
+use byterobust::prelude::*;
+
+/// One shared drill run (the fleet takes a few seconds; every test reads the
+/// same report).
+fn drill() -> &'static FleetReport {
+    static REPORT: OnceLock<FleetReport> = OnceLock::new();
+    REPORT.get_or_init(|| FleetRunner::new(FleetConfig::small_drill(), 20250916).run())
+}
+
+fn hit_ids(hits: &[WarehouseHit<'_>]) -> Vec<(String, u64)> {
+    hits.iter()
+        .map(|hit| (hit.job.to_string(), hit.dossier.seq))
+        .collect()
+}
+
+#[test]
+fn fleet_report_is_byte_identical_across_runs_with_the_same_seed() {
+    let a = drill();
+    let b = FleetRunner::new(FleetConfig::small_drill(), 20250916).run();
+    assert!(a.jobs.len() >= 3, "the drill runs three concurrent jobs");
+    assert_eq!(
+        a.render(),
+        b.render(),
+        "same seed must render byte-identically"
+    );
+
+    let c = FleetRunner::new(FleetConfig::small_drill(), 7).run();
+    assert_ne!(
+        a.render(),
+        c.render(),
+        "a different seed gives a different fleet history"
+    );
+}
+
+#[test]
+fn fleet_jobs_share_one_standby_pool_and_all_make_progress() {
+    let report = drill();
+    assert!(
+        report.shared_pool_target < report.solo_pool_sum,
+        "pooled P99 sizing ({}) must beat per-job provisioning ({})",
+        report.shared_pool_target,
+        report.solo_pool_sum
+    );
+    for job in &report.jobs {
+        assert!(job.report.final_step > 0, "{} made no progress", job.label);
+        assert!(
+            !job.report.incidents.is_empty(),
+            "{} saw no incidents at drill fault rates",
+            job.label
+        );
+        let ettr = job.report.ettr.cumulative_ettr();
+        assert!(ettr > 0.5 && ettr <= 1.0, "{}: ettr = {ettr}", job.label);
+    }
+    assert_eq!(report.total_incidents(), report.warehouse.len());
+}
+
+#[test]
+fn warehouse_indexed_queries_equal_linear_scan_on_fleet_data() {
+    let warehouse = &drill().warehouse;
+    assert!(!warehouse.is_empty());
+
+    let mut queries: Vec<IncidentQuery> = vec![
+        IncidentQuery::any(),
+        IncidentQuery::any().category(FaultCategory::Explicit),
+        IncidentQuery::any().category(FaultCategory::Implicit),
+        IncidentQuery::any().category(FaultCategory::ManualRestart),
+        IncidentQuery::any().window(SimTime::ZERO, SimTime::from_hours(72)),
+        IncidentQuery::any().window(SimTime::from_hours(5), SimTime::from_hours(30)),
+        IncidentQuery::any().window(SimTime::from_hours(5), SimTime::from_hours(5)),
+        IncidentQuery::any().window(SimTime::from_hours(30), SimTime::from_hours(5)),
+        IncidentQuery::any()
+            .category(FaultCategory::Explicit)
+            .window(SimTime::ZERO, SimTime::from_hours(24)),
+    ];
+    for severity in Severity::ALL {
+        queries.push(IncidentQuery::any().at_least(severity));
+    }
+    // Every machine the fleet ever implicated, plus one it never did.
+    for (&machine, _) in warehouse.machine_incident_counts().iter() {
+        queries.push(IncidentQuery::any().machine(machine));
+    }
+    queries.push(IncidentQuery::any().machine(MachineId(9999)));
+
+    for query in queries {
+        assert_eq!(
+            hit_ids(&warehouse.query(&query)),
+            hit_ids(&warehouse.linear_scan(&query)),
+            "indexed result diverged from linear scan for {query:?}"
+        );
+    }
+}
+
+#[test]
+fn warehouse_shard_merge_is_deterministic_across_insertion_orders() {
+    let report = drill();
+    let shards: Vec<(&str, &IncidentStore)> = report
+        .jobs
+        .iter()
+        .map(|job| (job.label.as_str(), &job.report.incident_store))
+        .collect();
+
+    let mut forward = IncidentWarehouse::default();
+    for (label, store) in &shards {
+        forward.ingest_store(label, store);
+    }
+    let mut reverse = IncidentWarehouse::default();
+    for (label, store) in shards.iter().rev() {
+        reverse.ingest_store(label, store);
+    }
+    // Interleaved dossier-by-dossier, round-robin across jobs.
+    let mut interleaved = IncidentWarehouse::default();
+    let longest = shards.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for i in 0..longest {
+        for (label, store) in &shards {
+            if let Some(dossier) = store.all().get(i) {
+                interleaved.insert(label, dossier.clone());
+            }
+        }
+    }
+
+    let queries = [
+        IncidentQuery::any(),
+        IncidentQuery::any().at_least(Severity::Sev2),
+        IncidentQuery::any().window(SimTime::ZERO, SimTime::from_hours(48)),
+    ];
+    for query in queries {
+        let expected = hit_ids(&forward.query(&query));
+        assert_eq!(expected, hit_ids(&reverse.query(&query)), "{query:?}");
+        assert_eq!(expected, hit_ids(&interleaved.query(&query)), "{query:?}");
+    }
+    for (&machine, _) in forward.machine_incident_counts().iter() {
+        assert_eq!(
+            hit_ids(&forward.by_machine(machine)),
+            hit_ids(&reverse.by_machine(machine)),
+        );
+    }
+    assert_eq!(forward.jobs(), reverse.jobs());
+    assert_eq!(forward.severity_counts(), reverse.severity_counts());
+}
+
+#[test]
+fn backlog_sweeps_drain_in_run_and_return_machines_to_standby() {
+    let report = drill();
+    assert!(
+        report.drain.sweeps_dispatched >= 1,
+        "the drill must queue stress-test sweeps"
+    );
+    assert!(
+        report.drain.sweeps_completed_in_run >= 1,
+        "at least one sweep must complete while jobs are still running"
+    );
+    assert!(
+        report.drain.machines_returned_to_standby >= 1,
+        "at least one over-evicted machine must pass its sweep and re-enter the pool"
+    );
+    // The returned machines are visible sweep by sweep, and every returned
+    // machine came from a sweep that also names the incident it drained.
+    let returned: usize = report
+        .completed_sweeps
+        .iter()
+        .map(|sweep| sweep.passed.len())
+        .sum();
+    assert_eq!(returned, report.drain.machines_returned_to_standby);
+    let with_pass = report
+        .completed_sweeps
+        .iter()
+        .find(|sweep| !sweep.passed.is_empty())
+        .expect("some sweep returned a machine");
+    // The sweep's source incident is in the warehouse, and it was an
+    // over-eviction.
+    let shard = report
+        .warehouse
+        .shard(&with_pass.job)
+        .expect("sweep's job has a shard");
+    let dossier = shard
+        .get(with_pass.seq)
+        .expect("sweep's incident is stored");
+    assert!(dossier.over_evicted);
+    // Observable in the rendered report too.
+    assert!(report.render().contains("returned to standby"));
+}
+
+#[test]
+fn repeat_offender_ledger_is_built_from_cross_job_history() {
+    let report = drill();
+    assert!(
+        !report.repeat_offenders.is_empty(),
+        "drill fault rates must produce repeat offenders"
+    );
+    for (machine, count) in &report.repeat_offenders {
+        assert!(*count >= report.repeat_offender_threshold);
+        // The ledger's counts agree with the warehouse's machine index.
+        assert_eq!(
+            report.warehouse.by_machine(*machine).len(),
+            *count,
+            "ledger and warehouse disagree about {machine}"
+        );
+    }
+    // At least one offender accumulated history from more than one job — the
+    // cross-job part of the ledger.
+    assert!(
+        report.repeat_offenders.iter().any(|(machine, _)| {
+            let jobs: std::collections::BTreeSet<String> = report
+                .warehouse
+                .by_machine(*machine)
+                .iter()
+                .map(|hit| hit.job.to_string())
+                .collect();
+            jobs.len() > 1
+        }),
+        "some offender must have incidents in more than one job"
+    );
+}
