@@ -8,6 +8,7 @@
 //! compares them with a timeout-only baseline.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use byterobust_cluster::{FaultKind, HealthIssue, HealthReport, Machine, MachineId};
 use byterobust_sim::{SimDuration, SimTime};
@@ -107,8 +108,10 @@ pub struct Monitor {
     /// machines with prior incident history across jobs, for which the
     /// eviction threshold is lowered (§9 repeated-occurrence heuristics). The
     /// fleet runner refreshes this set from recorded cross-job incident data;
-    /// solo jobs leave it empty.
-    repeat_offenders: Vec<MachineId>,
+    /// solo jobs leave it empty. Held behind an `Arc` so a fleet can publish
+    /// one set to every job's monitor with a pointer copy instead of cloning
+    /// the vector per job per incident.
+    repeat_offenders: Arc<[MachineId]>,
 }
 
 impl Monitor {
@@ -118,7 +121,7 @@ impl Monitor {
             config: MonitorConfig::default(),
             detector: AnomalyDetector::new(),
             metrics: MetricStore::new(),
-            repeat_offenders: Vec::new(),
+            repeat_offenders: Arc::from(Vec::new()),
         }
     }
 
@@ -128,6 +131,20 @@ impl Monitor {
     pub fn set_repeat_offenders(&mut self, mut machines: Vec<MachineId>) {
         machines.sort();
         machines.dedup();
+        self.repeat_offenders = Arc::from(machines);
+    }
+
+    /// Adopts an already-shared offender set (sorted, deduplicated) without
+    /// copying it — the fleet runner's per-incident publish path.
+    ///
+    /// # Panics
+    /// Debug-asserts that the slice is sorted (the binary-searched membership
+    /// check relies on it).
+    pub fn set_repeat_offenders_shared(&mut self, machines: Arc<[MachineId]>) {
+        debug_assert!(
+            machines.windows(2).all(|pair| pair[0] < pair[1]),
+            "shared repeat-offender set must be sorted and deduplicated"
+        );
         self.repeat_offenders = machines;
     }
 
@@ -355,6 +372,13 @@ mod tests {
         assert!(!monitor.is_repeat_offender(MachineId(4)));
         monitor.set_repeat_offenders(Vec::new());
         assert!(!monitor.is_repeat_offender(MachineId(3)));
+
+        // The fleet publish path: adopt an already-shared sorted set.
+        let shared: Arc<[MachineId]> = vec![MachineId(1), MachineId(7)].into();
+        monitor.set_repeat_offenders_shared(shared.clone());
+        assert_eq!(monitor.repeat_offenders(), shared.as_ref());
+        assert!(monitor.is_repeat_offender(MachineId(7)));
+        assert!(!monitor.is_repeat_offender(MachineId(2)));
     }
 
     #[test]

@@ -53,27 +53,31 @@ impl AggregationResult {
     }
 
     /// Aggregates with an explicit dominance ratio.
+    ///
+    /// Grouping happens on the 64-bit interned fingerprint
+    /// ([`StackTrace::fingerprint_hash`]), so the per-capture hot path hashes
+    /// each stack without allocating; the display fingerprint string is
+    /// rendered once per *cluster* from a representative stack, not once per
+    /// rank.
     pub fn aggregate_with_ratio(stacks: &[StackTrace], dominance_ratio: f64) -> Self {
         let relevant = ProcessTree::filter_training_stacks(stacks);
-        let mut groups: BTreeMap<(String, String), Vec<Rank>> = BTreeMap::new();
+        let mut groups: BTreeMap<(ProcessKind, u64), (&StackTrace, Vec<Rank>)> = BTreeMap::new();
         for stack in relevant {
-            let key = (format!("{:?}", stack.process), stack.fingerprint());
-            groups.entry(key).or_default().push(stack.rank);
+            let key = (stack.process, stack.fingerprint_hash());
+            groups
+                .entry(key)
+                .or_insert_with(|| (stack, Vec::new()))
+                .1
+                .push(stack.rank);
         }
         let mut clusters: Vec<StackCluster> = groups
-            .into_iter()
-            .map(|((process_name, fingerprint), mut ranks)| {
+            .into_values()
+            .map(|(representative, mut ranks)| {
                 ranks.sort();
                 ranks.dedup();
-                let process = match process_name.as_str() {
-                    "Trainer" => ProcessKind::Trainer,
-                    "DataLoader" => ProcessKind::DataLoader,
-                    "CheckpointWorker" => ProcessKind::CheckpointWorker,
-                    _ => ProcessKind::RobustDaemon,
-                };
                 StackCluster {
-                    process,
-                    fingerprint,
+                    process: representative.process,
+                    fingerprint: representative.fingerprint(),
                     ranks,
                 }
             })

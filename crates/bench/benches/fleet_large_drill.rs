@@ -1,0 +1,19 @@
+//! The headline fleet-scale throughput benchmark: the ~24-job `large_drill`
+//! under the heap scheduler vs. the retained naive-scan reference. The
+//! `reproduce` binary measures the same workload once and records it in
+//! `BENCH_fleet.json`; this target exists for iterating on scheduler perf
+//! (`cargo bench -p byterobust-bench --bench fleet_large_drill`).
+
+use byterobust_fleet::{FleetConfig, FleetRunner, SchedulerKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_large_drill(c: &mut Criterion) {
+    let runner = FleetRunner::new(FleetConfig::large_drill(), 20250916 + 41);
+    c.bench_function("fleet_large_drill_heap", |b| b.iter(|| runner.run()));
+    c.bench_function("fleet_large_drill_naive_scan", |b| {
+        b.iter(|| runner.run_with(SchedulerKind::NaiveScan))
+    });
+}
+
+criterion_group!(benches, bench_large_drill);
+criterion_main!(benches);

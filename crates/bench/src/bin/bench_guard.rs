@@ -1,0 +1,63 @@
+//! CI perf-regression gate.
+//!
+//! ```text
+//! bench_guard <BENCH_reproduce.json> <ci/bench_budget.json>
+//! ```
+//!
+//! Reads the measured `total_wall_secs` from a `BENCH_reproduce.json`
+//! produced by the `reproduce` binary and compares it against the checked-in
+//! budget (`reproduce_fast_budget_secs` in `ci/bench_budget.json`). Exits
+//! non-zero — failing the CI job — when the measured wall clock exceeds
+//! twice the budget, i.e. when `reproduce` regressed more than 2× against
+//! the recorded expectation. The factor absorbs runner-hardware variance
+//! while still catching complexity regressions (the O(J·E) scan this PR
+//! removed would trip it many times over at fleet scale).
+
+use std::process::ExitCode;
+
+use byterobust_bench::perf::read_json_number;
+
+/// Allowed slowdown over the budget before the gate trips.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(results_path), Some(budget_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_guard <BENCH_reproduce.json> <bench_budget.json>");
+        return ExitCode::FAILURE;
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(contents) => Some(contents),
+        Err(err) => {
+            eprintln!("bench_guard: cannot read {path}: {err}");
+            None
+        }
+    };
+    let (Some(results), Some(budget)) = (read(&results_path), read(&budget_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let Some(measured) = read_json_number(&results, "total_wall_secs") else {
+        eprintln!("bench_guard: {results_path} has no numeric total_wall_secs");
+        return ExitCode::FAILURE;
+    };
+    let Some(allowed) = read_json_number(&budget, "reproduce_fast_budget_secs") else {
+        eprintln!("bench_guard: {budget_path} has no numeric reproduce_fast_budget_secs");
+        return ExitCode::FAILURE;
+    };
+
+    let limit = allowed * REGRESSION_FACTOR;
+    if measured > limit {
+        eprintln!(
+            "bench_guard: FAIL — reproduce took {measured:.2}s, over {REGRESSION_FACTOR}x the \
+             {allowed:.2}s budget ({limit:.2}s limit). Either a perf regression slipped in or the \
+             budget in {budget_path} needs a deliberate update."
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_guard: OK — reproduce took {measured:.2}s (budget {allowed:.2}s, limit {limit:.2}s)"
+    );
+    ExitCode::SUCCESS
+}

@@ -1,42 +1,151 @@
-//! Regenerates every table and figure of the paper's evaluation in one pass.
+//! Regenerates every table and figure of the paper's evaluation in one pass,
+//! and records the perf trajectory of the run itself.
 //!
 //! ```text
 //! cargo run --release -p byterobust-bench --bin reproduce
-//! BYTEROBUST_FAST=1 cargo run --release -p byterobust-bench --bin reproduce   # shorter simulated durations
+//! BYTEROBUST_FAST=1 cargo run --release -p byterobust-bench --bin reproduce     # shorter simulated durations
+//! BYTEROBUST_SERIAL=1 cargo run --release -p byterobust-bench --bin reproduce   # force single-threaded
+//! BYTEROBUST_PARALLEL=1 cargo run --release -p byterobust-bench --bin reproduce # force the thread fan-out
 //! ```
+//!
+//! On multi-core hosts (the default policy — see
+//! `byterobust_bench::parallel_harness`) the heavy, mutually independent
+//! simulations (Fig. 2, the fleet drills, and the two §8.1 production
+//! deployments) run on `std::thread::scope` threads; each owns its seed, so
+//! stdout is byte-identical to a `BYTEROBUST_SERIAL=1` run — only the wall
+//! clock changes. Sections are printed in the fixed document order
+//! regardless of completion order.
+//!
+//! Two machine-readable artifacts are written afterwards (into
+//! `$BYTEROBUST_BENCH_DIR`, default `.`): `BENCH_reproduce.json` with
+//! per-section and total wall times, and `BENCH_fleet.json` with the
+//! `large_drill` scheduler-throughput measurement. `ci/bench_budget.json` +
+//! the `bench_guard` binary turn the former into a CI regression gate.
 
 use byterobust_bench::experiments;
+use byterobust_bench::perf::{timed, PerfRecorder};
 
 fn main() {
+    let run_start = std::time::Instant::now();
+    let fast = byterobust_bench::fast_mode();
+    let serial = !byterobust_bench::parallel_harness();
     println!("ByteRobust reproduction — regenerating all tables and figures");
-    println!(
-        "(seed = {}, fast mode = {})\n",
-        experiments::SEED,
-        byterobust_bench::fast_mode()
-    );
+    println!("(seed = {}, fast mode = {})\n", experiments::SEED, fast);
+    // The parallel/serial choice must not leak into stdout: the document is
+    // byte-identical either way (pinned by the bench determinism tests).
+    eprintln!("harness: parallel = {}", !serial);
 
-    // Cheap, closed-form experiments first.
-    println!("{}", experiments::table1_incidents());
-    println!("{}", experiments::table3_detection());
-    println!("{}", experiments::table7_hot_update());
-    println!("{}", experiments::fig12_was());
-    println!("{}", experiments::table8_checkpoint());
-    println!("{}", experiments::replay_localization());
-    println!("{}", experiments::analyzer_aggregation());
+    let mut perf = PerfRecorder::new();
+
+    // The heavy simulations are independent (each owns its forked seed), so
+    // they run concurrently with the cheap closed-form sections and with each
+    // other; printing happens in document order below.
+    let (cheap, fig2, fleet_panel, production) = std::thread::scope(|scope| {
+        let spawn_or_inline = |f: fn() -> String| {
+            if serial {
+                None
+            } else {
+                Some(scope.spawn(move || timed(f)))
+            }
+        };
+        let fig2 = spawn_or_inline(experiments::fig2_loss_mfu);
+        let fleet_panel = spawn_or_inline(experiments::fleet_panel);
+        let production = if serial {
+            None
+        } else {
+            Some(scope.spawn(|| timed(experiments::production_reports)))
+        };
+
+        // Cheap, closed-form experiments on the main thread.
+        let cheap: Vec<(&str, (String, f64))> = vec![
+            ("table1_incidents", timed(experiments::table1_incidents)),
+            ("table3_detection", timed(experiments::table3_detection)),
+            ("table7_hot_update", timed(experiments::table7_hot_update)),
+            ("fig12_was", timed(experiments::fig12_was)),
+            ("table8_checkpoint", timed(experiments::table8_checkpoint)),
+            (
+                "replay_localization",
+                timed(experiments::replay_localization),
+            ),
+            (
+                "analyzer_aggregation",
+                timed(experiments::analyzer_aggregation),
+            ),
+        ];
+
+        let join = |handle: Option<std::thread::ScopedJoinHandle<'_, (String, f64)>>,
+                    f: fn() -> String| {
+            match handle {
+                Some(handle) => handle.join().expect("experiment thread panicked"),
+                None => timed(f),
+            }
+        };
+        let fig2 = join(fig2, experiments::fig2_loss_mfu);
+        let fleet_panel = join(fleet_panel, experiments::fleet_panel);
+        let production = match production {
+            Some(handle) => handle.join().expect("experiment thread panicked"),
+            None => timed(experiments::production_reports),
+        };
+        (cheap, fig2, fleet_panel, production)
+    });
+
+    // The scheduler-throughput measurement runs alone on the main thread,
+    // after every worker has joined, so the heap-vs-naive comparison is not
+    // skewed by concurrent load.
+    let ((throughput_panel, fleet_stats), throughput_secs) = timed(experiments::fleet_throughput);
+
+    for (name, (rendered, secs)) in &cheap {
+        println!("{rendered}");
+        perf.record(name, *secs);
+    }
 
     // The 1,000-GPU 10-day job of Fig. 2.
-    println!("{}", experiments::fig2_loss_mfu());
+    println!("{}", fig2.0);
+    perf.record("fig2_loss_mfu", fig2.1);
 
     // Fleet orchestration: concurrent jobs over a shared standby pool.
-    eprintln!("running the fleet drill (3 concurrent jobs, shared standbys)...");
-    println!("{}", experiments::fleet_panel());
+    println!("{}", fleet_panel.0);
+    perf.record("fleet_panel", fleet_panel.1);
+
+    // Fleet scale-out: the large drill under the heap scheduler. The panel is
+    // deterministic; the measured throughput goes to stderr and the JSON.
+    println!("{throughput_panel}");
+    perf.record("fleet_large_drill", throughput_secs);
+    eprintln!(
+        "large drill: {} events in {:.2}s ({:.0} events/sec, {:.2}x over the naive scan)",
+        fleet_stats.events,
+        fleet_stats.heap_wall_secs,
+        fleet_stats.events_per_sec(),
+        fleet_stats.scheduler_speedup(),
+    );
 
     // The two production deployment jobs of §8.1 drive the remaining tables.
-    eprintln!("running production deployment simulations (dense 3-month + MoE 1-month)...");
-    let (dense, moe) = experiments::production_reports();
-    println!("{}", experiments::fig3_unproductive(&dense));
-    println!("{}", experiments::table4_resolution(&dense, &moe));
-    println!("{}", experiments::table6_resolution_cost(&dense, &moe));
-    println!("{}", experiments::fig10_ettr(&dense, &moe));
-    println!("{}", experiments::fig11_mfu(&dense, &moe));
+    let ((dense, moe), production_secs) = production;
+    perf.record("production_reports", production_secs);
+    let (fig3, fig3_secs) = timed(|| experiments::fig3_unproductive(&dense));
+    println!("{fig3}");
+    perf.record("fig3_unproductive", fig3_secs);
+    let (table4, table4_secs) = timed(|| experiments::table4_resolution(&dense, &moe));
+    println!("{table4}");
+    perf.record("table4_resolution", table4_secs);
+    let (table6, table6_secs) = timed(|| experiments::table6_resolution_cost(&dense, &moe));
+    println!("{table6}");
+    perf.record("table6_resolution_cost", table6_secs);
+    let (fig10, fig10_secs) = timed(|| experiments::fig10_ettr(&dense, &moe));
+    println!("{fig10}");
+    perf.record("fig10_ettr", fig10_secs);
+    let (fig11, fig11_secs) = timed(|| experiments::fig11_mfu(&dense, &moe));
+    println!("{fig11}");
+    perf.record("fig11_mfu", fig11_secs);
+
+    let total = run_start.elapsed().as_secs_f64();
+    match perf.write_reproduce_json(fast, !serial, total) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write BENCH_reproduce.json: {err}"),
+    }
+    match fleet_stats.write_fleet_json() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write BENCH_fleet.json: {err}"),
+    }
+    eprintln!("reproduce finished in {total:.2}s (parallel = {})", !serial);
 }

@@ -13,7 +13,7 @@ use byterobust_cluster::{
     FaultCategory, FaultInjector, FaultInjectorConfig, FaultKind, MachineId, RootCause,
 };
 use byterobust_core::{JobConfig, JobLifecycle, JobReport};
-use byterobust_fleet::{FleetConfig, FleetRunner, IncidentWarehouse};
+use byterobust_fleet::{FleetConfig, FleetRunner, IncidentWarehouse, SchedulerKind};
 use byterobust_parallelism::ParallelismConfig;
 use byterobust_recovery::{
     binomial_quantile, DualPhaseReplay, ReplayConfig, RestartCostModel, RestartStrategy,
@@ -23,15 +23,50 @@ use byterobust_sim::{SimDuration, SimRng, SimTime};
 use byterobust_trainsim::{CodeVersion, JobSpec, StepModel, TrainingRuntime};
 
 use crate::fast_mode;
+use crate::perf::{timed, FleetBenchStats};
 use crate::table::{fmt_pct, fmt_secs, Table};
 
 /// Deterministic seed shared by all experiments.
 pub const SEED: u64 = 20250916;
 
+/// Runs independent `(config, seed)` jobs and returns the reports in input
+/// order — on one scoped thread per job when `parallel`, on the calling
+/// thread otherwise. Each simulation owns its seed and shares nothing, so
+/// the reports are bit-identical between the two modes (pinned by the
+/// determinism test), while the parallel wall-clock cost is the slowest job
+/// instead of the sum.
+pub fn job_reports(jobs: &[(JobConfig, u64)], parallel: bool) -> Vec<JobReport> {
+    if !parallel {
+        return jobs
+            .iter()
+            .map(|(config, seed)| JobLifecycle::new(config.clone(), *seed).run())
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|(config, seed)| {
+                scope.spawn(move || JobLifecycle::new(config.clone(), *seed).run())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("simulation thread panicked"))
+            .collect()
+    })
+}
+
+/// [`job_reports`] honouring the harness-wide parallelism policy
+/// ([`crate::parallel_harness`]).
+pub fn parallel_job_reports(jobs: &[(JobConfig, u64)]) -> Vec<JobReport> {
+    job_reports(jobs, crate::parallel_harness())
+}
+
 /// Runs the two production deployment jobs of §8.1 (dense three-month job and
-/// MoE one-month job on 9,600 GPUs) and returns their reports. In fast mode
-/// the simulated durations are shortened ~10×, which preserves the shape of
-/// every derived table.
+/// MoE one-month job on 9,600 GPUs) and returns their reports. The two
+/// simulations run on separate threads ([`parallel_job_reports`]); outputs
+/// are unchanged versus serial runs. In fast mode the simulated durations are
+/// shortened ~10×, which preserves the shape of every derived table.
 pub fn production_reports() -> (JobReport, JobReport) {
     let mut dense_cfg = JobConfig::production_dense_three_months();
     let mut moe_cfg = JobConfig::production_moe_one_month();
@@ -39,8 +74,9 @@ pub fn production_reports() -> (JobReport, JobReport) {
         dense_cfg.duration = SimDuration::from_days(9);
         moe_cfg.duration = SimDuration::from_days(3);
     }
-    let dense = JobLifecycle::new(dense_cfg, SEED).run();
-    let moe = JobLifecycle::new(moe_cfg, SEED + 1).run();
+    let mut reports = parallel_job_reports(&[(dense_cfg, SEED), (moe_cfg, SEED + 1)]).into_iter();
+    let dense = reports.next().expect("dense report");
+    let moe = reports.next().expect("moe report");
     (dense, moe)
 }
 
@@ -621,13 +657,15 @@ pub fn replay_localization() -> String {
 pub fn fleet_panel() -> String {
     let runner = FleetRunner::new(FleetConfig::small_drill(), SEED + 40);
     let seeds = runner.job_seeds();
-    let solo: Vec<JobReport> = runner
+    // The solo baselines are independent simulations — run them on threads.
+    let solo_jobs: Vec<(JobConfig, u64)> = runner
         .config()
         .jobs
         .iter()
         .zip(seeds.iter())
-        .map(|(job, &seed)| JobLifecycle::new(job.config.clone(), seed).run())
+        .map(|(job, &seed)| (job.config.clone(), seed))
         .collect();
+    let solo: Vec<JobReport> = parallel_job_reports(&solo_jobs);
     let fleet = runner.run();
 
     let mut table = Table::new(
@@ -686,6 +724,67 @@ pub fn fleet_panel() -> String {
         fleet.drain.machines_returned_to_standby,
         fleet.fleet_ettr(),
     )
+}
+
+/// The `large_drill` throughput benchmark: ~24 concurrent jobs over a
+/// four-digit machine count, run once under the heap scheduler and once under
+/// the retained naive-scan reference (same seed — the reports are pinned
+/// byte-identical by the oracle test, so the comparison measures scheduling
+/// cost alone). Returns a deterministic summary panel (safe for stdout — no
+/// timing numbers) plus the measured [`FleetBenchStats`] backing
+/// `BENCH_fleet.json`.
+pub fn fleet_throughput() -> (String, FleetBenchStats) {
+    /// Timed runs per scheduler; the best run is reported, which damps
+    /// scheduler-noise jitter on sub-100ms measurements.
+    const ROUNDS: usize = 3;
+    let runner = FleetRunner::new(FleetConfig::large_drill(), SEED + 41);
+    let (heap_report, heap_wall_secs) = (0..ROUNDS)
+        .map(|_| timed(|| runner.run()))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one round");
+    let (naive_report, naive_wall_secs) = (0..ROUNDS)
+        .map(|_| timed(|| runner.run_with(SchedulerKind::NaiveScan)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one round");
+    assert_eq!(
+        heap_report.render(),
+        naive_report.render(),
+        "heap and naive-scan schedulers must agree byte-for-byte"
+    );
+    let stats = FleetBenchStats {
+        seed: heap_report.seed,
+        jobs: heap_report.jobs.len(),
+        machines: runner.config().total_machines(),
+        incidents: heap_report.total_incidents(),
+        events: heap_report.events_processed,
+        heap_wall_secs,
+        naive_wall_secs,
+    };
+
+    let mut table = Table::new(
+        "Fleet throughput: the large drill (heap scheduler, shared standby pool)",
+        &["Quantity", "Value"],
+    );
+    table.row(&["Concurrent jobs".to_string(), stats.jobs.to_string()]);
+    table.row(&["Fleet machines".to_string(), stats.machines.to_string()]);
+    table.row(&["Incidents".to_string(), stats.incidents.to_string()]);
+    table.row(&["Scheduler events".to_string(), stats.events.to_string()]);
+    table.row(&[
+        "Fleet ETTR".to_string(),
+        format!("{:.4}", heap_report.fleet_ettr()),
+    ]);
+    table.row(&[
+        "Repeat offenders".to_string(),
+        heap_report.repeat_offenders.len().to_string(),
+    ]);
+    table.row(&[
+        "Shared pool target (vs per-job sum)".to_string(),
+        format!(
+            "{} vs {}",
+            heap_report.shared_pool_target, heap_report.solo_pool_sum
+        ),
+    ]);
+    (table.render(), stats)
 }
 
 /// Fig. 7: stack aggregation for a backward-communication hang.

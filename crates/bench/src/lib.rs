@@ -8,8 +8,10 @@
 //! `cargo run -p byterobust-bench --bin reproduce` produce identical content.
 
 pub mod experiments;
+pub mod perf;
 pub mod table;
 
+pub use perf::{FleetBenchStats, PerfRecorder};
 pub use table::Table;
 
 /// Whether the harness should run scaled-down experiments (set the
@@ -20,4 +22,24 @@ pub fn fast_mode() -> bool {
     std::env::var("BYTEROBUST_FAST")
         .map(|v| v == "1")
         .unwrap_or(false)
+}
+
+/// Whether the harness fans independent seeded simulations out over
+/// `std::thread::scope` threads. Output is byte-identical either way (pinned
+/// by the determinism tests); only the wall clock changes.
+///
+/// Resolution order: `BYTEROBUST_SERIAL=1` forces single-threaded (the
+/// determinism reference and a profiling convenience), `BYTEROBUST_PARALLEL=1`
+/// forces threads, and otherwise threads are used exactly when the host
+/// exposes more than one CPU — on a single-core host the fan-out only adds
+/// scheduling overhead.
+pub fn parallel_harness() -> bool {
+    let flag = |name: &str| std::env::var(name).map(|v| v == "1").unwrap_or(false);
+    if flag("BYTEROBUST_SERIAL") {
+        return false;
+    }
+    if flag("BYTEROBUST_PARALLEL") {
+        return true;
+    }
+    std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
 }

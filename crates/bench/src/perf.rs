@@ -1,0 +1,252 @@
+//! The perf-measurement substrate: machine-readable benchmark artifacts.
+//!
+//! Every future perf claim about this repository is pinned by a JSON
+//! artifact: `reproduce` emits `BENCH_reproduce.json` (wall-clock per table /
+//! figure plus the total) and `BENCH_fleet.json` (the `large_drill`
+//! throughput benchmark: events/sec under the heap scheduler and the
+//! measured speedup over the retained naive scan). The `bench_guard` binary
+//! compares the former against the checked-in budget in
+//! `ci/bench_budget.json` and fails CI when the total regresses more than 2×.
+//!
+//! No external serde is available offline, so the writers emit the (small,
+//! flat) JSON by hand; [`read_json_number`] is the matching extractor used by
+//! `bench_guard`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Where benchmark artifacts are written: `$BYTEROBUST_BENCH_DIR` if set,
+/// else the current directory.
+pub fn bench_dir() -> PathBuf {
+    std::env::var_os("BYTEROBUST_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Runs `f`, returning its output and the elapsed wall-clock seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// One timed section of a benchmark run.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section name (a table/figure identifier).
+    pub name: String,
+    /// Wall-clock seconds the section took on its thread.
+    pub wall_secs: f64,
+}
+
+/// Accumulates per-section timings for one benchmark run and renders the
+/// `BENCH_reproduce.json` artifact.
+#[derive(Debug, Default)]
+pub struct PerfRecorder {
+    sections: Vec<Section>,
+}
+
+impl PerfRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one section's wall time.
+    pub fn record(&mut self, name: &str, wall_secs: f64) {
+        self.sections.push(Section {
+            name: name.to_string(),
+            wall_secs,
+        });
+    }
+
+    /// The recorded sections, in record order.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Renders the `BENCH_reproduce.json` document. `total_wall_secs` is the
+    /// whole run's wall time (under a parallel harness it is less than the
+    /// sum of the per-section times — that difference *is* the speedup).
+    pub fn render_json(&self, fast_mode: bool, parallel: bool, total_wall_secs: f64) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"reproduce\",");
+        let _ = writeln!(out, "  \"fast_mode\": {fast_mode},");
+        let _ = writeln!(out, "  \"parallel\": {parallel},");
+        let _ = writeln!(out, "  \"total_wall_secs\": {total_wall_secs:.4},");
+        let sum: f64 = self.sections.iter().map(|s| s.wall_secs).sum();
+        let _ = writeln!(out, "  \"sections_wall_secs_sum\": {sum:.4},");
+        out.push_str("  \"sections\": [\n");
+        for (i, section) in self.sections.iter().enumerate() {
+            let comma = if i + 1 == self.sections.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"wall_secs\": {:.4}}}{comma}",
+                json_escape(&section.name),
+                section.wall_secs
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_reproduce.json` into [`bench_dir`] and returns its path.
+    pub fn write_reproduce_json(
+        &self,
+        fast_mode: bool,
+        parallel: bool,
+        total_wall_secs: f64,
+    ) -> std::io::Result<PathBuf> {
+        let path = bench_dir().join("BENCH_reproduce.json");
+        std::fs::write(
+            &path,
+            self.render_json(fast_mode, parallel, total_wall_secs),
+        )?;
+        Ok(path)
+    }
+}
+
+/// The `large_drill` fleet throughput measurement backing `BENCH_fleet.json`.
+#[derive(Debug, Clone)]
+pub struct FleetBenchStats {
+    /// Fleet seed.
+    pub seed: u64,
+    /// Concurrent jobs in the drill.
+    pub jobs: usize,
+    /// Total machines across the fleet.
+    pub machines: usize,
+    /// Incidents processed over the run.
+    pub incidents: usize,
+    /// Scheduler events processed (incidents plus job-end events).
+    pub events: usize,
+    /// Wall seconds for the heap-scheduler run.
+    pub heap_wall_secs: f64,
+    /// Wall seconds for the retained naive-scan reference run.
+    pub naive_wall_secs: f64,
+}
+
+impl FleetBenchStats {
+    /// Heap-scheduler throughput in events per second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.heap_wall_secs.max(1e-9)
+    }
+
+    /// Naive-scan wall time over heap wall time.
+    pub fn scheduler_speedup(&self) -> f64 {
+        self.naive_wall_secs / self.heap_wall_secs.max(1e-9)
+    }
+
+    /// Renders the `BENCH_fleet.json` document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"fleet_large_drill\",");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"machines\": {},", self.machines);
+        let _ = writeln!(out, "  \"incidents\": {},", self.incidents);
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        let _ = writeln!(out, "  \"heap_wall_secs\": {:.4},", self.heap_wall_secs);
+        let _ = writeln!(out, "  \"naive_wall_secs\": {:.4},", self.naive_wall_secs);
+        let _ = writeln!(out, "  \"events_per_sec\": {:.1},", self.events_per_sec());
+        let _ = writeln!(
+            out,
+            "  \"scheduler_speedup\": {:.2}",
+            self.scheduler_speedup()
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes `BENCH_fleet.json` into [`bench_dir`] and returns its path.
+    pub fn write_fleet_json(&self) -> std::io::Result<PathBuf> {
+        let path = bench_dir().join("BENCH_fleet.json");
+        std::fs::write(&path, self.render_json())?;
+        Ok(path)
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Extracts the numeric value of `"key": <number>` from a JSON document
+/// written by this module (flat documents, no nested duplicates of the key).
+/// Returns `None` when the key is absent or not a number.
+pub fn read_json_number(document: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = document.find(&needle)?;
+    let rest = document[at + needle.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_renders_and_reads_back() {
+        let mut perf = PerfRecorder::new();
+        perf.record("table1_incidents", 0.25);
+        perf.record("fig2_loss_mfu", 1.5);
+        let json = perf.render_json(true, true, 1.75);
+        assert_eq!(read_json_number(&json, "total_wall_secs"), Some(1.75));
+        assert_eq!(
+            read_json_number(&json, "sections_wall_secs_sum"),
+            Some(1.75)
+        );
+        assert!(json.contains("\"name\": \"fig2_loss_mfu\""));
+        assert!(json.contains("\"parallel\": true"));
+    }
+
+    #[test]
+    fn fleet_stats_derivations() {
+        let stats = FleetBenchStats {
+            seed: 1,
+            jobs: 24,
+            machines: 1280,
+            incidents: 500,
+            events: 524,
+            heap_wall_secs: 0.5,
+            naive_wall_secs: 1.0,
+        };
+        assert!((stats.events_per_sec() - 1048.0).abs() < 1e-9);
+        assert!((stats.scheduler_speedup() - 2.0).abs() < 1e-9);
+        let json = stats.render_json();
+        assert_eq!(read_json_number(&json, "events"), Some(524.0));
+        assert_eq!(read_json_number(&json, "scheduler_speedup"), Some(2.0));
+    }
+
+    #[test]
+    fn json_number_extraction_edge_cases() {
+        assert_eq!(read_json_number("{}", "missing"), None);
+        assert_eq!(read_json_number("{\"a\": 3}", "a"), Some(3.0));
+        assert_eq!(read_json_number("{\"a\": -1.5e3}", "a"), Some(-1500.0));
+        assert_eq!(read_json_number("{\"a\": \"text\"}", "a"), None);
+    }
+
+    #[test]
+    fn timed_measures_and_passes_through() {
+        let (value, secs) = timed(|| 41 + 1);
+        assert_eq!(value, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Determinism of the threaded bench harness: fanning independent seeded
+//! simulations out over threads must produce byte-identical results to
+//! running them serially — the `reproduce` binary prints exactly these
+//! results, so this pins its stdout across `BYTEROBUST_SERIAL` settings.
+
+use byterobust_bench::experiments::job_reports;
+use byterobust_core::JobConfig;
+use byterobust_sim::SimDuration;
+
+fn drill_jobs() -> Vec<(JobConfig, u64)> {
+    let dense = JobConfig::small_test();
+    let mut moe = JobConfig::small_test();
+    moe.job.model.name = "tiny-moe-test".to_string();
+    moe.fault.manual_restart_interval = SimDuration::from_hours(4);
+    moe.fault.user_code_fraction = 0.45;
+    let mut short = JobConfig::small_test();
+    short.duration = SimDuration::from_hours(18);
+    vec![(dense, 20250916), (moe, 20250917), (short, 20250918)]
+}
+
+#[test]
+fn threaded_job_reports_are_byte_identical_to_serial() {
+    let jobs = drill_jobs();
+    let parallel = job_reports(&jobs, true);
+    let serial = job_reports(&jobs, false);
+    assert_eq!(parallel.len(), serial.len());
+    for (i, (p, s)) in parallel.iter().zip(serial.iter()).enumerate() {
+        // JobReport carries every series, incident, and dossier of the run;
+        // the Debug rendering is a full byte-level comparison of all of it.
+        assert_eq!(
+            format!("{p:?}"),
+            format!("{s:?}"),
+            "job {i}: threaded report diverged from the serial reference"
+        );
+    }
+}
+
+#[test]
+fn threaded_reports_keep_input_order() {
+    let jobs = drill_jobs();
+    let reports = job_reports(&jobs, true);
+    // The short job must come back third regardless of which thread finished
+    // first: reports are joined in spawn order.
+    assert_eq!(reports.len(), 3);
+    assert_eq!(reports[1].job_name, "tiny-moe-test");
+    assert!(
+        reports[2].ettr.total_time() < reports[0].ettr.total_time(),
+        "the 18-hour job must report less accounted time than the 2-day job"
+    );
+}

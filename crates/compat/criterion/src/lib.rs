@@ -8,7 +8,14 @@
 //! and prints mean wall-clock time per iteration. It makes no statistical
 //! claims; it exists so `cargo bench` compiles and produces indicative
 //! numbers offline.
+//!
+//! Results are also emitted machine-readably: set
+//! `BYTEROBUST_CRITERION_JSON=<path>` and every completed bench appends one
+//! JSON line — `{"id": ..., "mean_secs": ..., "iters": ...}` — to that file,
+//! so benchmark trajectories can be recorded as artifacts (the same role the
+//! real criterion's `target/criterion` estimates play).
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Minimal stand-in for `criterion::Criterion`.
@@ -19,7 +26,8 @@ pub struct Criterion {
 
 impl Criterion {
     /// Times `f`'s [`Bencher::iter`] routine and prints the mean per-iteration
-    /// wall-clock time.
+    /// wall-clock time. With `BYTEROBUST_CRITERION_JSON` set, also appends a
+    /// JSON line per bench to that file.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -36,10 +44,37 @@ impl Criterion {
                 mean * 1e3,
                 bencher.iterations
             );
+            emit_json_line(id, mean, bencher.iterations);
         } else {
             println!("bench {id}: no iterations run");
         }
         self
+    }
+}
+
+/// Appends one result line to `$BYTEROBUST_CRITERION_JSON`, if set. Failures
+/// are reported on stderr but never fail the bench run.
+fn emit_json_line(id: &str, mean_secs: f64, iters: u64) {
+    let Some(path) = std::env::var_os("BYTEROBUST_CRITERION_JSON") else {
+        return;
+    };
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect();
+    let line =
+        format!("{{\"id\": \"{escaped}\", \"mean_secs\": {mean_secs:.6}, \"iters\": {iters}}}\n");
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(err) = result {
+        eprintln!("criterion stand-in: cannot append to {path:?}: {err}");
     }
 }
 

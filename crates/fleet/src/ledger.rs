@@ -11,6 +11,7 @@
 //! instead of injector ground truth.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use byterobust_cluster::MachineId;
 use byterobust_incident::IncidentDossier;
@@ -20,6 +21,10 @@ use byterobust_incident::IncidentDossier;
 pub struct RepeatOffenderLedger {
     threshold: usize,
     counts: BTreeMap<MachineId, usize>,
+    /// Scratch buffer for the per-incident implicated-machine set, reused
+    /// across [`RepeatOffenderLedger::observe`] calls so the fleet hot loop
+    /// does not allocate per incident.
+    scratch: Vec<MachineId>,
 }
 
 impl RepeatOffenderLedger {
@@ -29,6 +34,7 @@ impl RepeatOffenderLedger {
         RepeatOffenderLedger {
             threshold: threshold.max(1),
             counts: BTreeMap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -37,15 +43,29 @@ impl RepeatOffenderLedger {
         self.threshold
     }
 
-    /// Records a closed incident's implicated machines.
-    pub fn observe(&mut self, dossier: &IncidentDossier) {
-        let mut machines = dossier.evicted.clone();
-        machines.extend(dossier.capture.machines_mentioned());
-        machines.sort();
-        machines.dedup();
-        for machine in machines {
-            *self.counts.entry(machine).or_insert(0) += 1;
+    /// Records a closed incident's implicated machines. Returns `true` when
+    /// the offender set changed (a machine crossed the threshold with this
+    /// incident) — callers only need to re-publish the set to the monitors
+    /// when this happens.
+    pub fn observe(&mut self, dossier: &IncidentDossier) -> bool {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&dossier.evicted);
+        dossier.capture.machines_mentioned_into(&mut self.scratch);
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        let mut crossed = false;
+        for &machine in &self.scratch {
+            let count = self.counts.entry(machine).or_insert(0);
+            *count += 1;
+            crossed |= *count == self.threshold;
         }
+        crossed
+    }
+
+    /// The offender set as a freshly shared slice, for cheap `Arc`-clone
+    /// distribution into every job's monitor.
+    pub fn offenders_shared(&self) -> Arc<[MachineId]> {
+        Arc::from(self.offenders())
     }
 
     /// Incidents recorded against a machine so far.
@@ -124,14 +144,23 @@ mod tests {
     #[test]
     fn offenders_cross_the_threshold() {
         let mut ledger = RepeatOffenderLedger::new(2);
-        ledger.observe(&dossier(1, vec![MachineId(3)]));
+        assert!(
+            !ledger.observe(&dossier(1, vec![MachineId(3)])),
+            "one incident is below the threshold — the set did not change"
+        );
         assert!(ledger.offenders().is_empty());
         assert_eq!(ledger.count(MachineId(3)), 1);
         // Second incident (in another job, same fleet machine).
-        ledger.observe(&dossier(1, vec![MachineId(3), MachineId(5)]));
+        assert!(
+            ledger.observe(&dossier(1, vec![MachineId(3), MachineId(5)])),
+            "machine 3 crossed the threshold — the set changed"
+        );
         assert_eq!(ledger.offenders(), vec![MachineId(3)]);
         assert_eq!(ledger.offender_counts(), vec![(MachineId(3), 2)]);
         assert_eq!(ledger.count(MachineId(5)), 1);
+        assert_eq!(ledger.offenders_shared().as_ref(), &[MachineId(3)]);
+        // A third incident on an existing offender leaves the set unchanged.
+        assert!(!ledger.observe(&dossier(2, vec![MachineId(3)])));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!    [`JobExecution`](byterobust_core::JobExecution)s (mixed job specs:
 //!    dense, MoE-flavoured, Table-5 scale) in global event order against a
 //!    *single shared* warm-standby pool, deterministically interleaved from
-//!    the fleet seed.
+//!    the fleet seed. Job selection goes through the
+//!    [`scheduler`] — an O(log J) binary heap by default, with the O(J)
+//!    linear scan retained as an oracle reference pinned byte-identical.
 //! 2. [`warehouse::IncidentWarehouse`] — per-job incident-store shards merged
 //!    under secondary indexes (by machine, by severity, by category, by time
 //!    bucket), so fleet queries are index lookups instead of
@@ -49,12 +51,14 @@ pub mod drainer;
 pub mod ledger;
 pub mod report;
 pub mod runner;
+pub mod scheduler;
 pub mod warehouse;
 
 pub use drainer::{BacklogDrainer, CompletedSweep};
 pub use ledger::RepeatOffenderLedger;
 pub use report::{DrainSummary, FleetJobReport, FleetReport};
 pub use runner::{FleetConfig, FleetJob, FleetRunner};
+pub use scheduler::{EventScheduler, SchedulerKind};
 pub use warehouse::{IncidentWarehouse, WarehouseHit};
 
 /// Convenience prelude for downstream crates.
@@ -63,5 +67,6 @@ pub mod prelude {
     pub use crate::ledger::RepeatOffenderLedger;
     pub use crate::report::{DrainSummary, FleetJobReport, FleetReport};
     pub use crate::runner::{FleetConfig, FleetJob, FleetRunner};
+    pub use crate::scheduler::{EventScheduler, SchedulerKind};
     pub use crate::warehouse::{IncidentWarehouse, WarehouseHit};
 }

@@ -50,6 +50,11 @@ pub struct FleetReport {
     pub seed: u64,
     /// Per-job results, in fleet configuration order.
     pub jobs: Vec<FleetJobReport>,
+    /// Scheduler events processed over the run (segments advanced: incidents
+    /// plus job-end events). The numerator of the throughput benchmarks;
+    /// deliberately not rendered so `render()` stays comparable across
+    /// scheduler implementations by construction.
+    pub events_processed: usize,
     /// The indexed cross-job incident warehouse.
     pub warehouse: IncidentWarehouse,
     /// Every completed stress-test sweep, in completion order.

@@ -4,14 +4,19 @@
 //! Each job is a steppable [`JobExecution`]; the runner repeatedly advances
 //! the job whose next event (injected fault or job end) is earliest, which
 //! keeps every draw on the shared warm-standby pool in global time order.
-//! Per-job seeds are forked deterministically from the fleet seed, and ties
-//! between simultaneous events are broken by a dedicated `SimRng` stream —
-//! the whole interleaving is a pure function of the fleet seed.
+//! Job selection goes through the [`scheduler`](crate::scheduler) — an
+//! O(log J) binary heap of `(next_event_at, job_index)` keys by default, with
+//! the original O(J) linear scan retained as an oracle reference. Per-job
+//! seeds are forked deterministically from the fleet seed, and ties between
+//! simultaneous events are broken by a dedicated `SimRng` stream — the whole
+//! interleaving is a pure function of the fleet seed and identical across
+//! both schedulers.
 //!
 //! After every incident the runner feeds the closed dossier to the
 //! [`IncidentWarehouse`], the [`RepeatOffenderLedger`] (whose offender set is
-//! pushed into every job's monitor), and the [`BacklogDrainer`] (whose
-//! completed stress-test sweeps return cleared machines to the shared pool).
+//! re-published to every job's monitor behind an `Arc` — and only when the
+//! set actually changed), and the [`BacklogDrainer`] (whose completed
+//! stress-test sweeps return cleared machines to the shared pool).
 
 use byterobust_core::{JobConfig, JobExecution, RobustController, SegmentOutcome};
 use byterobust_recovery::WarmStandbyPool;
@@ -21,6 +26,7 @@ use byterobust_trainsim::JobSpec;
 use crate::drainer::BacklogDrainer;
 use crate::ledger::RepeatOffenderLedger;
 use crate::report::{DrainSummary, FleetJobReport, FleetReport};
+use crate::scheduler::{EventScheduler, SchedulerKind};
 use crate::warehouse::IncidentWarehouse;
 
 /// One job in the fleet: a label (unique within the fleet) plus its
@@ -93,6 +99,39 @@ impl FleetConfig {
         ])
     }
 
+    /// The fleet-scale drill: ~24 concurrent jobs over a four-digit machine
+    /// count (8 dense 16-machine jobs, 8 MoE-flavoured 16-machine jobs, and
+    /// 8 Table-5-scale 128-machine jobs — 1,280 machines in total). This was
+    /// impractical under the per-event linear scan and is the headline
+    /// throughput benchmark for the heap scheduler (`BENCH_fleet.json`).
+    /// Fault parameters are staggered per job so the incident mix differs
+    /// across the fleet.
+    pub fn large_drill() -> Self {
+        let mut jobs = Vec::new();
+        for i in 0..8u64 {
+            let mut dense = JobConfig::small_test();
+            dense.fault.manual_restart_interval = SimDuration::from_hours(5 + i % 3);
+            jobs.push(FleetJob::new(format!("dense-{i:02}"), dense));
+        }
+        for i in 0..8u64 {
+            let mut moe = JobConfig::small_test();
+            moe.job.model.name = format!("tiny-moe-{i:02}");
+            moe.fault.manual_restart_interval = SimDuration::from_hours(3 + i % 4);
+            moe.fault.user_code_fraction = 0.35 + 0.02 * i as f64;
+            jobs.push(FleetJob::new(format!("moe-{i:02}"), moe));
+        }
+        for i in 0..8u64 {
+            let mut table5 =
+                JobConfig::for_job(JobSpec::table5_70b_small(), SimDuration::from_days(1));
+            table5.fault.reference_mtbf = SimDuration::from_hours(2 + i % 2);
+            table5.fault.reference_gpus = table5.job.world_size();
+            table5.fault.manual_restart_interval = SimDuration::from_hours(6 + i);
+            table5.series_points = 50;
+            jobs.push(FleetJob::new(format!("table5-{i:02}"), table5));
+        }
+        FleetConfig::new(jobs)
+    }
+
     /// Total machine demand across the fleet: the sum of every job's
     /// footprint. This is what sizes the shared standby pool. (Machine
     /// *identity* is a separate matter — jobs address one fleet-wide
@@ -156,8 +195,16 @@ impl FleetRunner {
             .collect()
     }
 
-    /// Runs every job to completion and returns the fleet report.
+    /// Runs every job to completion and returns the fleet report, using the
+    /// heap scheduler.
     pub fn run(&self) -> FleetReport {
+        self.run_with(SchedulerKind::default())
+    }
+
+    /// Runs with an explicit scheduler. [`SchedulerKind::NaiveScan`] is the
+    /// retained O(J)-per-event reference; the oracle tests pin
+    /// `run_with(NaiveScan).render() == run().render()`.
+    pub fn run_with(&self, scheduler_kind: SchedulerKind) -> FleetReport {
         let mut rng = SimRng::new(self.seed);
         let mut executions: Vec<JobExecution> = self
             .config
@@ -167,6 +214,7 @@ impl FleetRunner {
             .map(|(i, job)| JobExecution::new(job.config.clone(), rng.fork(i as u64 + 1).seed()))
             .collect();
         let mut tie_rng = rng.fork(0xF1EE7);
+        let mut scheduler = EventScheduler::new(scheduler_kind, &executions);
 
         let mut pool = self.config.shared_pool();
         let pool_target = pool.target_size();
@@ -176,36 +224,12 @@ impl FleetRunner {
         let mut machines_returned = 0usize;
         let mut machines_confirmed_faulty = 0usize;
         let mut sweeps_completed_in_run = 0usize;
+        let mut events_processed = 0usize;
 
-        loop {
-            // The unfinished job with the earliest next event; simultaneous
-            // events are broken by the interleave stream.
-            let mut earliest: Option<SimTime> = None;
-            let mut tied: Vec<usize> = Vec::new();
-            for (i, execution) in executions.iter().enumerate() {
-                if execution.is_finished() {
-                    continue;
-                }
-                let at = execution.next_event_at();
-                match earliest {
-                    None => {
-                        earliest = Some(at);
-                        tied = vec![i];
-                    }
-                    Some(best) if at < best => {
-                        earliest = Some(at);
-                        tied = vec![i];
-                    }
-                    Some(best) if at == best => tied.push(i),
-                    Some(_) => {}
-                }
-            }
-            let Some(event_at) = earliest else { break };
-            let index = if tied.len() == 1 {
-                tied[0]
-            } else {
-                tied[tie_rng.index(tied.len())]
-            };
+        // The unfinished job with the earliest next event; simultaneous
+        // events are broken by the interleave stream inside the scheduler.
+        while let Some((event_at, index)) = scheduler.next(&executions, &mut tie_rng) {
+            events_processed += 1;
 
             // Complete sweeps due by this event and return cleared machines
             // to the shared pool before the next job draws from it.
@@ -216,30 +240,35 @@ impl FleetRunner {
                 sweeps_completed_in_run += 1;
             }
 
-            let label = self.config.jobs[index].label.clone();
+            let label = &self.config.jobs[index].label;
             match executions[index].advance_with_pool(&mut pool) {
                 SegmentOutcome::Finished => {}
                 SegmentOutcome::Incident { seq } => {
+                    // Borrow the dossier where it lives (the job's own store);
+                    // the warehouse copy below is the only clone on this path.
                     let dossier = executions[index]
                         .incident_store()
                         .get(seq)
-                        .expect("closed incident is stored")
-                        .clone();
+                        .expect("closed incident is stored");
                     let closed_at = dossier.at + dossier.cost.total();
-                    ledger.observe(&dossier);
-                    drainer.dispatch(&label, &dossier, closed_at);
-                    warehouse.insert(&label, dossier);
-                    // Refresh every job's monitor with the cross-job offender
-                    // set so the next incident anywhere benefits from it.
-                    let offenders = ledger.offenders();
-                    for execution in executions.iter_mut() {
-                        execution
-                            .controller_mut()
-                            .monitor_mut()
-                            .set_repeat_offenders(offenders.clone());
+                    let offenders_changed = ledger.observe(dossier);
+                    drainer.dispatch(label, dossier, closed_at);
+                    warehouse.insert(label, dossier.clone());
+                    // Re-publish the cross-job offender set only when a
+                    // machine actually crossed the threshold; each monitor
+                    // receives an Arc pointer copy, not a vector clone.
+                    if offenders_changed {
+                        let offenders = ledger.offenders_shared();
+                        for execution in executions.iter_mut() {
+                            execution
+                                .controller_mut()
+                                .monitor_mut()
+                                .set_repeat_offenders_shared(offenders.clone());
+                        }
                     }
                 }
             }
+            scheduler.reschedule(index, &executions);
         }
 
         // Sweeps still in flight when the last job ends complete at the fleet
@@ -287,6 +316,7 @@ impl FleetRunner {
         FleetReport {
             seed: self.seed,
             jobs,
+            events_processed,
             warehouse,
             completed_sweeps: drainer.completed().to_vec(),
             drain,

@@ -12,19 +12,38 @@
 //! Results are always returned in a canonical order — (start time, job
 //! label, seq) — which makes warehouse output independent of shard insertion
 //! order.
+//!
+//! # Posting-list sort invariant
+//!
+//! Every secondary-index posting list is kept in canonical (start time, job
+//! label, seq) order *at insert time*, so queries merge already-sorted runs
+//! instead of re-sorting every result set. Two facts make maintenance cheap:
+//! per shard, dossiers arrive in ascending `seq` with non-decreasing start
+//! times (a job's incidents close in time order — asserted on insert), and a
+//! fleet run inserts across shards in non-decreasing start-time order, so
+//! the canonical insertion point is almost always the tail.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use byterobust_cluster::{FaultCategory, FaultKind, MachineId};
 use byterobust_incident::{IncidentDossier, IncidentQuery, IncidentStore, Severity};
 use byterobust_sim::{SimDuration, SimTime};
 
 /// Reference to one dossier: shard index plus the dossier's seq within it
-/// (resolved by the store's binary-searched `get`).
+/// (resolved by the store's binary-searched `get`), plus the dossier's start
+/// time so posting lists can be kept canonically ordered without chasing the
+/// shard on every comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct DossierKey {
+    at: SimTime,
     shard: usize,
     seq: u64,
+}
+
+/// The canonical comparison tuple for a key: (start time, job label, seq).
+fn canonical(shards: &[(String, IncidentStore)], key: DossierKey) -> (SimTime, &str, u64) {
+    (key.at, shards[key.shard].0.as_str(), key.seq)
 }
 
 /// One query result: the job the incident belongs to, and its dossier.
@@ -53,6 +72,8 @@ pub struct IncidentWarehouse {
     by_severity: BTreeMap<Severity, Vec<DossierKey>>,
     by_category: BTreeMap<FaultCategory, Vec<DossierKey>>,
     by_bucket: BTreeMap<u64, Vec<DossierKey>>,
+    /// Reused per-insert buffer for the implicated-machine set.
+    machine_scratch: Vec<MachineId>,
 }
 
 impl IncidentWarehouse {
@@ -70,6 +91,7 @@ impl IncidentWarehouse {
             by_severity: BTreeMap::new(),
             by_category: BTreeMap::new(),
             by_bucket: BTreeMap::new(),
+            machine_scratch: Vec::new(),
         }
     }
 
@@ -93,34 +115,51 @@ impl IncidentWarehouse {
     }
 
     /// Inserts one closed incident into the named job's shard and every
-    /// secondary index.
+    /// secondary index. Posting lists stay canonically ordered (see the
+    /// module docs); per shard, dossiers must arrive in ascending `seq` with
+    /// non-decreasing start times (asserted).
     pub fn insert(&mut self, job: &str, dossier: IncidentDossier) {
         let shard = self.shard_index(job);
+        debug_assert!(
+            self.shards[shard]
+                .1
+                .all()
+                .last()
+                .is_none_or(|prev| prev.seq < dossier.seq && prev.at <= dossier.at),
+            "per-shard insertions must be in ascending seq / non-decreasing time order"
+        );
         let key = DossierKey {
+            at: dossier.at,
             shard,
             seq: dossier.seq,
         };
+        let bucket = self.bucket_of(dossier.at);
         // Machine index: same "involves" semantics as `IncidentQuery::machine`
-        // (evicted machines plus machines mentioned in the capture evidence).
-        let mut machines = dossier.evicted.clone();
-        machines.extend(dossier.capture.machines_mentioned());
-        machines.sort();
+        // (evicted machines plus machines mentioned in the capture evidence),
+        // gathered into a reused scratch buffer.
+        let mut machines = std::mem::take(&mut self.machine_scratch);
+        machines.clear();
+        machines.extend_from_slice(&dossier.evicted);
+        dossier.capture.machines_mentioned_into(&mut machines);
+        machines.sort_unstable();
         machines.dedup();
-        for machine in machines {
-            self.by_machine.entry(machine).or_default().push(key);
+        let shards = &self.shards;
+        let post = |postings: &mut Vec<DossierKey>| {
+            let target = canonical(shards, key);
+            let pos = postings.partition_point(|&k| canonical(shards, k) <= target);
+            postings.insert(pos, key);
+        };
+        for &machine in &machines {
+            post(self.by_machine.entry(machine).or_default());
         }
-        self.by_severity
-            .entry(dossier.classification.severity)
-            .or_default()
-            .push(key);
-        self.by_category
-            .entry(dossier.category)
-            .or_default()
-            .push(key);
-        self.by_bucket
-            .entry(self.bucket_of(dossier.at))
-            .or_default()
-            .push(key);
+        self.machine_scratch = machines;
+        post(
+            self.by_severity
+                .entry(dossier.classification.severity)
+                .or_default(),
+        );
+        post(self.by_category.entry(dossier.category).or_default());
+        post(self.by_bucket.entry(bucket).or_default());
         self.shards[shard].1.insert(dossier);
     }
 
@@ -171,63 +210,106 @@ impl IncidentWarehouse {
         }
     }
 
-    /// Resolves keys, applies the residual filter, and sorts into the
-    /// canonical (start time, job label, seq) order.
+    /// Resolves canonically pre-sorted keys and applies the residual filter.
+    /// No sorting happens here: insertion maintains the posting-list order
+    /// (debug-asserted), and multi-list candidates are merged before the
+    /// call.
     fn hits<'a>(
         &'a self,
         keys: impl IntoIterator<Item = DossierKey>,
         query: &IncidentQuery,
     ) -> Vec<WarehouseHit<'a>> {
-        let mut hits: Vec<WarehouseHit<'a>> = keys
+        let hits: Vec<WarehouseHit<'a>> = keys
             .into_iter()
             .map(|key| self.resolve(key))
             .filter(|hit| query.matches(hit.dossier))
             .collect();
-        hits.sort_by(|a, b| {
-            (a.dossier.at, a.job, a.dossier.seq).cmp(&(b.dossier.at, b.job, b.dossier.seq))
-        });
+        debug_assert!(
+            hits.windows(2).all(|pair| {
+                (pair[0].dossier.at, pair[0].job, pair[0].dossier.seq)
+                    <= (pair[1].dossier.at, pair[1].job, pair[1].dossier.seq)
+            }),
+            "candidate keys must arrive canonically sorted"
+        );
         hits
+    }
+
+    /// K-way merge of canonically sorted key lists into one canonically
+    /// sorted list.
+    fn merge_sorted(&self, lists: Vec<Vec<DossierKey>>) -> Vec<DossierKey> {
+        let mut lists: Vec<Vec<DossierKey>> = lists.into_iter().filter(|l| !l.is_empty()).collect();
+        match lists.len() {
+            0 => Vec::new(),
+            1 => lists.pop().expect("one list"),
+            _ => {
+                let total = lists.iter().map(Vec::len).sum();
+                let mut out = Vec::with_capacity(total);
+                // Heap entries: (canonical key, list index, position).
+                type MergeEntry<'a> = ((SimTime, &'a str, u64), usize, usize);
+                let mut heap: BinaryHeap<Reverse<MergeEntry<'_>>> = lists
+                    .iter()
+                    .enumerate()
+                    .map(|(li, list)| Reverse((canonical(&self.shards, list[0]), li, 0)))
+                    .collect();
+                while let Some(Reverse((_, li, pos))) = heap.pop() {
+                    out.push(lists[li][pos]);
+                    if let Some(&next) = lists[li].get(pos + 1) {
+                        heap.push(Reverse((canonical(&self.shards, next), li, pos + 1)));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Every dossier of one shard as canonical keys (sorted by construction:
+    /// stores keep dossiers in ascending seq / non-decreasing time order).
+    fn shard_keys(&self, shard: usize) -> Vec<DossierKey> {
+        self.shards[shard]
+            .1
+            .all()
+            .iter()
+            .map(|dossier| DossierKey {
+                at: dossier.at,
+                shard,
+                seq: dossier.seq,
+            })
+            .collect()
     }
 
     /// Fleet-wide query answered through the most selective applicable index
     /// (machine, then category, then severity floor, then time bucket), with
     /// the remaining filters applied to the narrowed candidate set. Returns
     /// exactly what [`IncidentWarehouse::linear_scan`] would, in the same
-    /// canonical order.
+    /// canonical order — single posting lists are used as-is, multi-list
+    /// candidates are merged, nothing is re-sorted.
     pub fn query(&self, query: &IncidentQuery) -> Vec<WarehouseHit<'_>> {
         let keys: Vec<DossierKey> = if let Some(machine) = query.machine {
             self.by_machine.get(&machine).cloned().unwrap_or_default()
         } else if let Some(category) = query.category {
             self.by_category.get(&category).cloned().unwrap_or_default()
         } else if let Some(floor) = query.min_severity {
-            Severity::ALL
-                .iter()
-                .filter(|severity| severity.is_at_least(floor))
-                .flat_map(|severity| self.by_severity.get(severity).cloned().unwrap_or_default())
-                .collect()
+            self.merge_sorted(
+                Severity::ALL
+                    .iter()
+                    .filter(|severity| severity.is_at_least(floor))
+                    .map(|severity| self.by_severity.get(severity).cloned().unwrap_or_default())
+                    .collect(),
+            )
         } else if let Some((from, to)) = query.window {
             if from >= to {
                 return Vec::new();
             }
             // The bucket range is over-inclusive at both edges; the residual
             // `query.matches` filter enforces the exact half-open window.
+            // Concatenation in ascending bucket order preserves the canonical
+            // order: bucket time ranges are disjoint and increasing.
             self.by_bucket
                 .range(self.bucket_of(from)..=self.bucket_of(to))
                 .flat_map(|(_, keys)| keys.iter().copied())
                 .collect()
         } else {
-            (0..self.shards.len())
-                .flat_map(|shard| {
-                    self.shards[shard]
-                        .1
-                        .all()
-                        .iter()
-                        .map(move |dossier| DossierKey {
-                            shard,
-                            seq: dossier.seq,
-                        })
-                })
-                .collect()
+            self.merge_sorted((0..self.shards.len()).map(|s| self.shard_keys(s)).collect())
         };
         self.hits(keys, query)
     }
@@ -255,20 +337,25 @@ impl IncidentWarehouse {
     }
 
     /// The brute-force oracle: evaluates the query by scanning every dossier
-    /// of every shard, no indexes involved. Kept for the invariant tests that
-    /// pin `query == linear_scan`.
+    /// of every shard, no indexes involved, with its own full sort — fully
+    /// independent of the posting-list sort invariant the indexed path relies
+    /// on. Kept for the invariant tests that pin `query == linear_scan`.
     pub fn linear_scan(&self, query: &IncidentQuery) -> Vec<WarehouseHit<'_>> {
-        let keys = (0..self.shards.len()).flat_map(|shard| {
-            self.shards[shard]
-                .1
-                .all()
-                .iter()
-                .map(move |dossier| DossierKey {
-                    shard,
-                    seq: dossier.seq,
+        let mut hits: Vec<WarehouseHit<'_>> = self
+            .shards
+            .iter()
+            .flat_map(|(label, store)| {
+                store.all().iter().map(move |dossier| WarehouseHit {
+                    job: label,
+                    dossier,
                 })
+            })
+            .filter(|hit| query.matches(hit.dossier))
+            .collect();
+        hits.sort_by(|a, b| {
+            (a.dossier.at, a.job, a.dossier.seq).cmp(&(b.dossier.at, b.job, b.dossier.seq))
         });
-        self.hits(keys.collect::<Vec<_>>(), query)
+        hits
     }
 
     /// Incident counts per severity class across the fleet.

@@ -180,14 +180,20 @@ impl RecorderEvent {
 
     /// Machines this event mentions (used by the store's per-machine query).
     pub fn machines(&self) -> Vec<MachineId> {
+        self.machines_ref().to_vec()
+    }
+
+    /// The machines an event names, as a borrow of the event's own storage —
+    /// no allocation, for per-incident hot paths.
+    pub fn machines_ref(&self) -> &[MachineId] {
         match self {
-            RecorderEvent::Telemetry(event) => vec![event.machine],
+            RecorderEvent::Telemetry(event) => std::slice::from_ref(&event.machine),
             RecorderEvent::MonitorVerdict { machine, .. }
-            | RecorderEvent::Eviction { machine, .. } => vec![*machine],
+            | RecorderEvent::Eviction { machine, .. } => std::slice::from_ref(machine),
             RecorderEvent::DiagnosisDecision { suspects, .. }
-            | RecorderEvent::ReplayVerdict { suspects, .. } => suspects.clone(),
-            RecorderEvent::AnalyzerDecision { machines, .. } => machines.clone(),
-            _ => Vec::new(),
+            | RecorderEvent::ReplayVerdict { suspects, .. } => suspects,
+            RecorderEvent::AnalyzerDecision { machines, .. } => machines,
+            _ => &[],
         }
     }
 }
@@ -318,16 +324,25 @@ impl IncidentCapture {
     /// context entries are ring carryover from previous incidents and are
     /// deliberately excluded.
     pub fn machines_mentioned(&self) -> Vec<MachineId> {
-        let mut machines: Vec<MachineId> = self
-            .context
-            .iter()
-            .filter(|entry| entry.at >= self.opened_at)
-            .chain(self.window.iter())
-            .flat_map(|entry| entry.event.machines())
-            .collect();
+        let mut machines = Vec::new();
+        self.machines_mentioned_into(&mut machines);
         machines.sort();
         machines.dedup();
         machines
+    }
+
+    /// Appends every mentioned machine to `out` without allocating (callers
+    /// on per-incident hot paths reuse one scratch buffer and sort/dedup
+    /// themselves). Order and duplicates follow the capture's entries.
+    pub fn machines_mentioned_into(&self, out: &mut Vec<MachineId>) {
+        out.extend(
+            self.context
+                .iter()
+                .filter(|entry| entry.at >= self.opened_at)
+                .chain(self.window.iter())
+                .flat_map(|entry| entry.event.machines_ref())
+                .copied(),
+        );
     }
 
     /// Entries produced by a given subsystem.

@@ -17,8 +17,9 @@ use crate::step::TrainPhase;
 
 /// The kind of process a stack was captured from. Root causes may live in
 /// subprocesses (data fetching, checkpointing), so the tracer captures all of
-/// them, not just the main trainer (§5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// them, not just the main trainer (§5.1). Ordered so it can key sorted maps
+/// directly (the analyzer groups stacks per process kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ProcessKind {
     /// The main training worker process (one per GPU rank).
     Trainer,
@@ -43,24 +44,26 @@ impl ProcessKind {
 }
 
 /// One stack frame: function, file, line.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The function and file names are `&'static str`: every frame the generator
+/// produces comes from a fixed catalogue of Megatron/torch call sites, so a
+/// capture of tens of thousands of process stacks copies pointers instead of
+/// allocating two strings per frame. (If frames ever need to be parsed from
+/// external data, switch these to `Cow<'static, str>`.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct StackFrame {
     /// Function name.
-    pub func: String,
+    pub func: &'static str,
     /// Source file path.
-    pub file: String,
+    pub file: &'static str,
     /// Line number.
     pub line: u32,
 }
 
 impl StackFrame {
     /// Creates a frame.
-    pub fn new(func: &str, file: &str, line: u32) -> Self {
-        StackFrame {
-            func: func.to_string(),
-            file: file.to_string(),
-            line,
-        }
+    pub fn new(func: &'static str, file: &'static str, line: u32) -> Self {
+        StackFrame { func, file, line }
     }
 }
 
@@ -87,18 +90,47 @@ impl StackTrace {
     /// string-matching aggregation. Ranks with identical fingerprints are in
     /// the same place in the program.
     pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
         let mut s = String::new();
         for frame in &self.frames {
-            s.push_str(&frame.to_string());
-            s.push('\n');
+            let _ = writeln!(s, "{frame}");
         }
         s
+    }
+
+    /// A 64-bit interned form of [`StackTrace::fingerprint`]: an FNV-1a hash
+    /// over the frames, computed without allocating. Two stacks share a hash
+    /// exactly when they share a fingerprint string (up to hash collisions,
+    /// which at a few dozen distinct stacks per capture are negligible), so
+    /// the per-step aggregation path can group by `u64` and render the
+    /// display string once per *cluster* instead of once per *rank*.
+    pub fn fingerprint_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut hash = FNV_OFFSET;
+        for frame in &self.frames {
+            hash = fnv1a(hash, frame.func.as_bytes());
+            hash = fnv1a(hash, &[0xFF]);
+            hash = fnv1a(hash, frame.file.as_bytes());
+            hash = fnv1a(hash, &frame.line.to_le_bytes());
+        }
+        hash
     }
 
     /// The innermost (currently executing) frame, if any.
     pub fn leaf(&self) -> Option<&StackFrame> {
         self.frames.last()
     }
+}
+
+/// One FNV-1a absorption step over a byte string.
+#[inline]
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
 }
 
 /// Generates the canonical stack for a (process, phase) pair.
@@ -429,6 +461,49 @@ mod tests {
         assert_eq!(ck.process, ProcessKind::CheckpointWorker);
         let daemon = g.daemon_stack(Rank(3));
         assert_eq!(daemon.process, ProcessKind::RobustDaemon);
+    }
+
+    #[test]
+    fn fingerprint_hash_matches_string_equality() {
+        let g = generator();
+        let phases = [
+            TrainPhase::DataLoading,
+            TrainPhase::Forward,
+            TrainPhase::Backward,
+            TrainPhase::PipelineComm,
+            TrainPhase::GradReduceScatter,
+            TrainPhase::ParamAllGather,
+            TrainPhase::OptimizerStep,
+            TrainPhase::Checkpoint,
+            TrainPhase::Evaluation,
+            TrainPhase::Idle,
+        ];
+        let mut stacks: Vec<StackTrace> = phases
+            .iter()
+            .map(|&p| g.trainer_stack(Rank(0), p))
+            .collect();
+        stacks.push(g.trainer_stack_pp_recv(Rank(0)));
+        stacks.push(g.dataloader_stack(Rank(0), false));
+        stacks.push(g.dataloader_stack(Rank(0), true));
+        stacks.push(g.checkpoint_worker_stack(Rank(0), true));
+        stacks.push(g.checkpoint_worker_stack(Rank(0), false));
+        stacks.push(g.daemon_stack(Rank(0)));
+        for a in &stacks {
+            for b in &stacks {
+                assert_eq!(
+                    a.fingerprint() == b.fingerprint(),
+                    a.fingerprint_hash() == b.fingerprint_hash(),
+                    "hash equality must mirror string equality"
+                );
+            }
+        }
+        // Rank does not enter the fingerprint, hashed or stringly.
+        assert_eq!(
+            g.trainer_stack(Rank(0), TrainPhase::Forward)
+                .fingerprint_hash(),
+            g.trainer_stack(Rank(31), TrainPhase::Forward)
+                .fingerprint_hash(),
+        );
     }
 
     #[test]

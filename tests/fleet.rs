@@ -39,6 +39,49 @@ fn fleet_report_is_byte_identical_across_runs_with_the_same_seed() {
 }
 
 #[test]
+fn heap_scheduler_is_byte_identical_to_naive_scan_oracle() {
+    // Small drill: the shared heap-scheduled run against a fresh naive-scan
+    // run, same seed, plus a second seed to vary the tie pattern.
+    let heap = drill();
+    let naive =
+        FleetRunner::new(FleetConfig::small_drill(), 20250916).run_with(SchedulerKind::NaiveScan);
+    assert_eq!(
+        heap.render(),
+        naive.render(),
+        "small_drill: heap scheduler diverged from the naive-scan oracle"
+    );
+    assert_eq!(heap.events_processed, naive.events_processed);
+
+    let runner = FleetRunner::new(FleetConfig::small_drill(), 7);
+    assert_eq!(
+        runner.run().render(),
+        runner.run_with(SchedulerKind::NaiveScan).render(),
+        "small_drill seed 7: heap scheduler diverged from the naive-scan oracle"
+    );
+}
+
+#[test]
+fn heap_scheduler_matches_oracle_on_the_large_drill() {
+    // The ~24-job four-digit-machine drill: the scale the heap scheduler
+    // exists for. One run per scheduler, pinned byte-identical.
+    let runner = FleetRunner::new(FleetConfig::large_drill(), 20250916 + 41);
+    assert!(runner.config().jobs.len() >= 24);
+    assert!(runner.config().total_machines() >= 1000);
+    let heap = runner.run();
+    let naive = runner.run_with(SchedulerKind::NaiveScan);
+    assert_eq!(
+        heap.render(),
+        naive.render(),
+        "large_drill: heap scheduler diverged from the naive-scan oracle"
+    );
+    assert_eq!(heap.events_processed, naive.events_processed);
+    assert!(
+        heap.events_processed > heap.total_incidents(),
+        "events include every job-end on top of the incidents"
+    );
+}
+
+#[test]
 fn fleet_jobs_share_one_standby_pool_and_all_make_progress() {
     let report = drill();
     assert!(
