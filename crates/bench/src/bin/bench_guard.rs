@@ -1,30 +1,49 @@
 //! CI perf-regression gate.
 //!
 //! ```text
-//! bench_guard <BENCH_reproduce.json> <ci/bench_budget.json>
+//! bench_guard <BENCH_reproduce.json> <ci/bench_budget.json>            # enforce
+//! bench_guard --update <BENCH_reproduce.json> <ci/bench_budget.json>  # rewrite budget
 //! ```
 //!
-//! Reads the measured `total_wall_secs` from a `BENCH_reproduce.json`
-//! produced by the `reproduce` binary and compares it against the checked-in
-//! budget (`reproduce_fast_budget_secs` in `ci/bench_budget.json`). Exits
-//! non-zero — failing the CI job — when the measured wall clock exceeds
-//! twice the budget, i.e. when `reproduce` regressed more than 2× against
-//! the recorded expectation. The factor absorbs runner-hardware variance
-//! while still catching complexity regressions (the O(J·E) scan this PR
-//! removed would trip it many times over at fleet scale).
+//! Enforcement reads the measured `total_wall_secs` and per-section
+//! `wall_secs` from a `BENCH_reproduce.json` produced by the `reproduce`
+//! binary and compares them against the checked-in budget
+//! (`reproduce_fast_budget_secs` plus per-section `budget_secs` in
+//! `ci/bench_budget.json`). The job fails when the total — or any budgeted
+//! section — exceeds twice its budget, and the failure report names each
+//! offending section with its budget, its measurement, and how far over it
+//! is, instead of a bare exit code. The 2× factor absorbs runner-hardware
+//! variance while still catching complexity regressions.
+//!
+//! `--update` rewrites the budget file from the current measurement (totals
+//! and sections alike), for deliberate budget refreshes after intentional
+//! perf changes — never run it to paper over a regression.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use byterobust_bench::perf::read_json_number;
+use byterobust_bench::perf::{read_json_name_number_pairs, read_json_number};
 
-/// Allowed slowdown over the budget before the gate trips.
+/// Allowed slowdown over a budget before the gate trips.
 const REGRESSION_FACTOR: f64 = 2.0;
 
+/// Budgets below this are noise; `--update` clamps up to it so a 2 ms
+/// section cannot trip the gate on a 5 ms measurement.
+const MIN_BUDGET_SECS: f64 = 0.05;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_guard [--update] <BENCH_reproduce.json> <bench_budget.json>");
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let (Some(results_path), Some(budget_path)) = (args.next(), args.next()) else {
-        eprintln!("usage: bench_guard <BENCH_reproduce.json> <bench_budget.json>");
-        return ExitCode::FAILURE;
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.first().map(String::as_str) == Some("--update");
+    if update {
+        args.remove(0);
+    }
+    let [results_path, budget_path] = args.as_slice() else {
+        return usage();
     };
 
     let read = |path: &str| match std::fs::read_to_string(path) {
@@ -34,30 +53,154 @@ fn main() -> ExitCode {
             None
         }
     };
-    let (Some(results), Some(budget)) = (read(&results_path), read(&budget_path)) else {
+    let Some(results) = read(results_path) else {
         return ExitCode::FAILURE;
     };
-
-    let Some(measured) = read_json_number(&results, "total_wall_secs") else {
+    let Some(measured_total) = read_json_number(&results, "total_wall_secs") else {
         eprintln!("bench_guard: {results_path} has no numeric total_wall_secs");
         return ExitCode::FAILURE;
     };
-    let Some(allowed) = read_json_number(&budget, "reproduce_fast_budget_secs") else {
+    let measured_sections = read_json_name_number_pairs(&results, "wall_secs");
+
+    if update {
+        let budget = render_budget(measured_total, &measured_sections);
+        return match std::fs::write(budget_path, budget) {
+            Ok(()) => {
+                println!(
+                    "bench_guard: wrote {budget_path} from {results_path} \
+                     (total {measured_total:.2}s, {} sections)",
+                    measured_sections.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("bench_guard: cannot write {budget_path}: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(budget) = read(budget_path) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(allowed_total) = read_json_number(&budget, "reproduce_fast_budget_secs") else {
         eprintln!("bench_guard: {budget_path} has no numeric reproduce_fast_budget_secs");
         return ExitCode::FAILURE;
     };
+    let section_budgets = read_json_name_number_pairs(&budget, "budget_secs");
 
-    let limit = allowed * REGRESSION_FACTOR;
-    if measured > limit {
-        eprintln!(
-            "bench_guard: FAIL — reproduce took {measured:.2}s, over {REGRESSION_FACTOR}x the \
-             {allowed:.2}s budget ({limit:.2}s limit). Either a perf regression slipped in or the \
-             budget in {budget_path} needs a deliberate update."
-        );
-        return ExitCode::FAILURE;
+    // Compare every budgeted quantity; collect the offenders.
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    fn check(
+        rows: &mut Vec<String>,
+        failures: &mut Vec<String>,
+        name: &str,
+        measured: f64,
+        budget: f64,
+    ) {
+        let limit = budget * REGRESSION_FACTOR;
+        let over = measured > limit;
+        let pct_of_budget = 100.0 * measured / budget.max(1e-9);
+        rows.push(format!(
+            "  {:<24} budget {:>7.2}s  measured {:>7.2}s  ({:>4.0}% of budget){}",
+            name,
+            budget,
+            measured,
+            pct_of_budget,
+            if over { "  << OVER 2x LIMIT" } else { "" }
+        ));
+        if over {
+            failures.push(format!(
+                "{name}: {measured:.2}s is {:.0}% over its {budget:.2}s budget (limit {limit:.2}s)",
+                pct_of_budget - 100.0
+            ));
+        }
     }
-    println!(
-        "bench_guard: OK — reproduce took {measured:.2}s (budget {allowed:.2}s, limit {limit:.2}s)"
+    check(
+        &mut rows,
+        &mut failures,
+        "total",
+        measured_total,
+        allowed_total,
     );
-    ExitCode::SUCCESS
+    for (name, budget_secs) in &section_budgets {
+        match measured_sections.iter().find(|(n, _)| n == name) {
+            Some((_, measured)) => check(&mut rows, &mut failures, name, *measured, *budget_secs),
+            None => {
+                // A budgeted section vanishing from the results is a gate
+                // failure, not a footnote: otherwise renaming a section
+                // silently drops its regression coverage.
+                rows.push(format!(
+                    "  {name:<24} budget {budget_secs:>7.2}s  measured      -    << MISSING FROM RESULTS"
+                ));
+                failures.push(format!(
+                    "{name}: budgeted section missing from results — renamed or dropped? \
+                     Run bench_guard --update to adopt the new section list deliberately"
+                ));
+            }
+        }
+    }
+    for (name, _) in &measured_sections {
+        if !section_budgets.iter().any(|(n, _)| n == name) {
+            rows.push(format!(
+                "  {name:<24} (no budget recorded — run bench_guard --update to adopt it)"
+            ));
+        }
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "bench_guard: current run vs {budget_path} (gate trips at {REGRESSION_FACTOR}x budget)"
+    );
+    for row in rows {
+        let _ = writeln!(report, "{row}");
+    }
+    if failures.is_empty() {
+        print!("{report}");
+        println!("bench_guard: OK — total {measured_total:.2}s within budget");
+        ExitCode::SUCCESS
+    } else {
+        eprint!("{report}");
+        eprintln!(
+            "bench_guard: FAIL — {} regression(s). Either a perf regression slipped in or the \
+             budget needs a deliberate `bench_guard --update` with a justification:",
+            failures.len()
+        );
+        for failure in failures {
+            eprintln!("  {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Renders a fresh `ci/bench_budget.json` from the current measurement.
+fn render_budget(total: f64, sections: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"comment\": \"Wall-clock budgets for `BYTEROBUST_FAST=1 reproduce` on CI hardware, \
+         in seconds. bench_guard fails the bench-smoke job when the measured total_wall_secs — \
+         or any budgeted section — in BENCH_reproduce.json exceeds 2x its budget. Regenerate \
+         deliberately with `bench_guard --update BENCH_reproduce.json ci/bench_budget.json` \
+         (with a perf justification in the PR) — never to paper over a regression.\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"reproduce_fast_budget_secs\": {:.2},",
+        total.max(MIN_BUDGET_SECS)
+    );
+    out.push_str("  \"sections\": [\n");
+    for (i, (name, secs)) in sections.iter().enumerate() {
+        let comma = if i + 1 == sections.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{name}\", \"budget_secs\": {:.2}}}{comma}",
+            secs.max(MIN_BUDGET_SECS)
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

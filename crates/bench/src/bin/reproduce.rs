@@ -40,7 +40,7 @@ fn main() {
     // The heavy simulations are independent (each owns its forked seed), so
     // they run concurrently with the cheap closed-form sections and with each
     // other; printing happens in document order below.
-    let (cheap, fig2, fleet_panel, production) = std::thread::scope(|scope| {
+    let (cheap, fig2, fleet_panel, broker_panel, production) = std::thread::scope(|scope| {
         let spawn_or_inline = |f: fn() -> String| {
             if serial {
                 None
@@ -50,6 +50,7 @@ fn main() {
         };
         let fig2 = spawn_or_inline(experiments::fig2_loss_mfu);
         let fleet_panel = spawn_or_inline(experiments::fleet_panel);
+        let broker_panel = spawn_or_inline(experiments::broker_panel);
         let production = if serial {
             None
         } else {
@@ -82,11 +83,12 @@ fn main() {
         };
         let fig2 = join(fig2, experiments::fig2_loss_mfu);
         let fleet_panel = join(fleet_panel, experiments::fleet_panel);
+        let broker_panel = join(broker_panel, experiments::broker_panel);
         let production = match production {
             Some(handle) => handle.join().expect("experiment thread panicked"),
             None => timed(experiments::production_reports),
         };
-        (cheap, fig2, fleet_panel, production)
+        (cheap, fig2, fleet_panel, broker_panel, production)
     });
 
     // The scheduler-throughput measurement runs alone on the main thread,
@@ -106,6 +108,11 @@ fn main() {
     // Fleet orchestration: concurrent jobs over a shared standby pool.
     println!("{}", fleet_panel.0);
     perf.record("fleet_panel", fleet_panel.1);
+
+    // Fleet resource broker: the starved drill, broker off vs on, plus the
+    // non-starved byte-identity oracle (asserted inside the panel).
+    println!("{}", broker_panel.0);
+    perf.record("broker_panel", broker_panel.1);
 
     // Fleet scale-out: the large drill under the heap scheduler. The panel is
     // deterministic; the measured throughput goes to stderr and the JSON.

@@ -13,7 +13,7 @@ use byterobust_cluster::{
     FaultCategory, FaultInjector, FaultInjectorConfig, FaultKind, MachineId, RootCause,
 };
 use byterobust_core::{JobConfig, JobLifecycle, JobReport};
-use byterobust_fleet::{FleetConfig, FleetRunner, IncidentWarehouse, SchedulerKind};
+use byterobust_fleet::{BrokerConfig, FleetConfig, FleetRunner, IncidentWarehouse, SchedulerKind};
 use byterobust_parallelism::ParallelismConfig;
 use byterobust_recovery::{
     binomial_quantile, DualPhaseReplay, ReplayConfig, RestartCostModel, RestartStrategy,
@@ -723,6 +723,103 @@ pub fn fleet_panel() -> String {
         fleet.drain.sweeps_completed_in_run,
         fleet.drain.machines_returned_to_standby,
         fleet.fleet_ettr(),
+    )
+}
+
+/// Broker panel: the starved fleet (`FleetConfig::starved_drill`) run twice
+/// under identical seeds — broker disabled (the degraded baseline: every
+/// pool shortfall pays the slow reschedule path) and broker enabled
+/// (priority reservation, cross-job machine migration, queued admission).
+/// Also asserts the byte-identity oracle: on a non-starved fleet the broker
+/// never intervenes and the rendered report is byte-for-byte the
+/// broker-disabled one.
+pub fn broker_panel() -> String {
+    // Oracle: a comfortably provisioned pool never starves, so the brokered
+    // render must equal the un-brokered render exactly.
+    let calm = FleetConfig::small_drill().with_pool_override(64);
+    let calm_off = FleetRunner::new(calm.clone(), SEED + 50).run();
+    let calm_on = FleetRunner::new(
+        calm.with_broker(BrokerConfig {
+            admission_limit: None,
+            reserve_for_priority: 1,
+        }),
+        SEED + 50,
+    )
+    .run();
+    assert_eq!(
+        calm_off.render(),
+        calm_on.render(),
+        "non-starved fleet: broker on/off must render byte-identically"
+    );
+    assert_eq!(calm_off.pool_shortfall_events, 0);
+
+    // The starved fleet, broker off vs on, same seed.
+    let starved = FleetConfig::starved_drill();
+    let priorities: Vec<&'static str> = starved
+        .jobs
+        .iter()
+        .map(|job| job.priority.label())
+        .collect();
+    let off = FleetRunner::new(starved.clone().without_broker(), SEED + 51).run();
+    let on = FleetRunner::new(starved, SEED + 51).run();
+
+    let mut table = Table::new(
+        "Broker panel: starved fleet, broker off vs on (same seeds)",
+        &[
+            "Job",
+            "Priority",
+            "ETTR off",
+            "ETTR on",
+            "Starved off",
+            "Starved on",
+            "Final step off",
+            "Final step on",
+        ],
+    );
+    let starved_off = off.starved_incidents_by_job();
+    let starved_on = on.starved_incidents_by_job();
+    for ((job_off, job_on), priority) in off.jobs.iter().zip(on.jobs.iter()).zip(&priorities) {
+        table.row(&[
+            job_off.label.clone(),
+            priority.to_string(),
+            format!("{:.4}", job_off.report.ettr.cumulative_ettr()),
+            format!("{:.4}", job_on.report.ettr.cumulative_ettr()),
+            starved_off
+                .get(job_off.label.as_str())
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
+            starved_on
+                .get(job_on.label.as_str())
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
+            job_off.report.final_step.to_string(),
+            job_on.report.final_step.to_string(),
+        ]);
+    }
+
+    let broker = on
+        .broker
+        .as_ref()
+        .expect("starved drill enables the broker");
+    format!(
+        "{}\nFleet: ETTR {:.4} -> {:.4}; unproductive {} -> {} s; pool shortfalls {} -> {} \
+         request(s)\nBroker: {} slot(s) preempted, {} machine(s) migrated, {} standby(s) held \
+         for the critical tier, {} job(s) queued, {} machine(s) still rescheduled\n\
+         Non-starved oracle: broker on/off byte-identical (asserted)\n",
+        table.render(),
+        off.fleet_ettr(),
+        on.fleet_ettr(),
+        off.fleet_unproductive_secs().round(),
+        on.fleet_unproductive_secs().round(),
+        off.pool_shortfall_events,
+        on.pool_shortfall_events,
+        broker.preempted_slots,
+        broker.migrated_machines,
+        broker.reserve_held_machines,
+        broker.queued_jobs,
+        broker.residual_shortfall_machines,
     )
 }
 

@@ -184,6 +184,36 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+/// Extracts every `{"name": "<x>", "<value_key>": <number>}` pair from a
+/// JSON document written by this module (the `sections` arrays of
+/// `BENCH_reproduce.json` and `ci/bench_budget.json`), in document order.
+/// Objects without a numeric `value_key` after their `name` are skipped.
+pub fn read_json_name_number_pairs(document: &str, value_key: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let mut rest = document;
+    while let Some(at) = rest.find("\"name\"") {
+        rest = &rest[at + "\"name\"".len()..];
+        let Some(colon) = rest.trim_start().strip_prefix(':') else {
+            continue;
+        };
+        let value = colon.trim_start();
+        let Some(value) = value.strip_prefix('"') else {
+            continue;
+        };
+        let Some(end) = value.find('"') else { break };
+        let name = &value[..end];
+        // The value key must belong to this object: look only as far as the
+        // object's closing brace.
+        let tail = &value[end..];
+        let object_end = tail.find('}').unwrap_or(tail.len());
+        if let Some(number) = read_json_number(&tail[..object_end], value_key) {
+            pairs.push((name.to_string(), number));
+        }
+        rest = tail;
+    }
+    pairs
+}
+
 /// Extracts the numeric value of `"key": <number>` from a JSON document
 /// written by this module (flat documents, no nested duplicates of the key).
 /// Returns `None` when the key is absent or not a number.
@@ -233,6 +263,32 @@ mod tests {
         let json = stats.render_json();
         assert_eq!(read_json_number(&json, "events"), Some(524.0));
         assert_eq!(read_json_number(&json, "scheduler_speedup"), Some(2.0));
+    }
+
+    #[test]
+    fn name_number_pairs_extraction() {
+        let mut perf = PerfRecorder::new();
+        perf.record("table1_incidents", 0.25);
+        perf.record("fleet_panel", 1.5);
+        let json = perf.render_json(true, false, 1.75);
+        assert_eq!(
+            read_json_name_number_pairs(&json, "wall_secs"),
+            vec![
+                ("table1_incidents".to_string(), 0.25),
+                ("fleet_panel".to_string(), 1.5)
+            ]
+        );
+        // A budget-shaped document with a different value key.
+        let budget = r#"{"sections": [
+            {"name": "a", "budget_secs": 0.5},
+            {"name": "broken"},
+            {"name": "b", "budget_secs": 2}
+        ]}"#;
+        assert_eq!(
+            read_json_name_number_pairs(budget, "budget_secs"),
+            vec![("a".to_string(), 0.5), ("b".to_string(), 2.0)]
+        );
+        assert!(read_json_name_number_pairs("{}", "wall_secs").is_empty());
     }
 
     #[test]

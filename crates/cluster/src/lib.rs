@@ -14,6 +14,7 @@ pub mod gpu;
 pub mod health;
 pub mod ids;
 pub mod machine;
+pub mod registry;
 pub mod topology;
 
 pub use blacklist::Blacklist;
@@ -24,6 +25,7 @@ pub use gpu::{Gpu, GpuState};
 pub use health::{HealthIssue, HealthReport};
 pub use ids::{GpuId, MachineId, SwitchId};
 pub use machine::{Machine, MachineState, NicState};
+pub use registry::{FleetMachineRegistry, MigrationRecord};
 pub use topology::{Cluster, ClusterSpec};
 
 /// Convenience prelude for downstream crates.
@@ -36,5 +38,6 @@ pub mod prelude {
     pub use crate::health::{HealthIssue, HealthReport};
     pub use crate::ids::{GpuId, MachineId, SwitchId};
     pub use crate::machine::{Machine, MachineState, NicState};
+    pub use crate::registry::{FleetMachineRegistry, MigrationRecord};
     pub use crate::topology::{Cluster, ClusterSpec};
 }

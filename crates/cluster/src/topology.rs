@@ -1,5 +1,15 @@
 //! Cluster topology: the fleet of machines assigned to a training job plus
 //! the warm-standby pool, grouped under leaf switches.
+//!
+//! Membership is dynamic: besides the machines a cluster is built with, it
+//! can *release* a spare machine to another job and *adopt* a machine
+//! migrated in from one (fleet-level machine migration) — the `Machine`
+//! object moves wholesale, so GPU damage, NIC state, and health history
+//! travel with the machine rather than being reset at the job boundary.
+//! Lookups therefore go through an id → slot index rather than assuming
+//! `MachineId(i)` lives at index `i`.
+
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -72,6 +82,9 @@ impl ClusterSpec {
 pub struct Cluster {
     spec: ClusterSpec,
     machines: Vec<Machine>,
+    /// Slot index of each machine id currently in this cluster. Membership
+    /// changes (release/adopt) keep this in sync with `machines`.
+    index_of: BTreeMap<MachineId, usize>,
     /// Machines blocked from scheduling.
     pub blacklist: Blacklist,
 }
@@ -104,9 +117,15 @@ impl Cluster {
             };
             machines.push(m);
         }
+        let index_of = machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.id, i))
+            .collect();
         Cluster {
             spec,
             machines,
+            index_of,
             blacklist: Blacklist::new(),
         }
     }
@@ -121,20 +140,27 @@ impl Cluster {
         self.machines.len()
     }
 
+    /// Whether a machine id is currently a member of this cluster.
+    pub fn has_machine(&self, id: MachineId) -> bool {
+        self.index_of.contains_key(&id)
+    }
+
     /// Immutable access to a machine.
     ///
     /// # Panics
-    /// Panics if the id is out of range.
+    /// Panics if the machine is not a member of this cluster.
     pub fn machine(&self, id: MachineId) -> &Machine {
-        &self.machines[id.index()]
+        let slot = self.index_of[&id];
+        &self.machines[slot]
     }
 
     /// Mutable access to a machine.
     ///
     /// # Panics
-    /// Panics if the id is out of range.
+    /// Panics if the machine is not a member of this cluster.
     pub fn machine_mut(&mut self, id: MachineId) -> &mut Machine {
-        &mut self.machines[id.index()]
+        let slot = self.index_of[&id];
+        &mut self.machines[slot]
     }
 
     /// All machines.
@@ -203,12 +229,61 @@ impl Cluster {
     /// Adds a freshly provisioned machine to the standby pool (replenishment,
     /// §6.2). The new machine gets the next free id.
     pub fn add_standby_machine(&mut self) -> MachineId {
-        let id = MachineId(self.machines.len() as u32);
+        let next = self
+            .machines
+            .iter()
+            .map(|m| m.id.0 + 1)
+            .max()
+            .unwrap_or_default();
+        let id = MachineId(next);
         let switch = SwitchId((id.index() / self.spec.machines_per_switch) as u32);
         let mut m = Machine::healthy(id, switch, self.spec.gpus_per_machine);
         m.state = MachineState::WarmStandby;
+        self.index_of.insert(id, self.machines.len());
         self.machines.push(m);
         id
+    }
+
+    /// Releases a warm-standby machine to another job (fleet machine
+    /// migration). The machine leaves this cluster wholesale — its hardware
+    /// state travels with it — and the caller hands it to the receiving
+    /// cluster via [`Cluster::adopt_machine`].
+    ///
+    /// # Panics
+    /// Panics if the machine is not a member or not a ready warm standby.
+    pub fn release_machine(&mut self, id: MachineId) -> Machine {
+        let slot = self.index_of[&id];
+        assert_eq!(
+            self.machines[slot].state,
+            MachineState::WarmStandby,
+            "only warm-standby machines can be released for migration"
+        );
+        let machine = self.machines.remove(slot);
+        self.index_of.remove(&id);
+        for index in self.index_of.values_mut() {
+            if *index > slot {
+                *index -= 1;
+            }
+        }
+        machine
+    }
+
+    /// Adopts a machine migrated in from another job. It joins the receiving
+    /// cluster's warm spares — its pod is re-targeted while it waits, and the
+    /// next eviction's recovery activates it at the barrier — keeping its id,
+    /// switch attachment, and hardware history.
+    ///
+    /// # Panics
+    /// Panics if a machine with the same id is already a member.
+    pub fn adopt_machine(&mut self, mut machine: Machine) {
+        assert!(
+            !self.index_of.contains_key(&machine.id),
+            "cluster already has a machine with id {}",
+            machine.id
+        );
+        machine.state = MachineState::WarmStandby;
+        self.index_of.insert(machine.id, self.machines.len());
+        self.machines.push(machine);
     }
 
     /// Aggregate relative throughput of the active fleet (mean of per-machine
@@ -288,6 +363,62 @@ mod tests {
         let id = cluster.add_standby_machine();
         assert_eq!(cluster.standby_machines().len(), before + 1);
         assert_eq!(cluster.machine(id).state, MachineState::WarmStandby);
+    }
+
+    #[test]
+    fn release_and_adopt_move_machine_state_between_clusters() {
+        let mut donor = Cluster::build(ClusterSpec::small_test());
+        let mut receiver = Cluster::build(ClusterSpec {
+            active_machines: 4,
+            standby_machines: 1,
+            gpus_per_machine: 8,
+            machines_per_switch: 4,
+        });
+        // Pick a donor spare whose id does not collide with the receiver.
+        let spare = *donor
+            .standby_machines()
+            .iter()
+            .find(|id| !receiver.has_machine(**id))
+            .expect("small_test spares (16, 17) are outside the 5-machine receiver");
+        // Leave a (benign, below the 85C alarm) hardware trace so we can see
+        // the state travel without failing the standby self-check.
+        donor.machine_mut(spare).gpu_mut(1).temperature_c = 80.0;
+        let machine = donor.release_machine(spare);
+        assert!(!donor.has_machine(spare));
+        assert_eq!(donor.total_machines(), 17);
+        // Remaining donor machines are still addressable after the removal.
+        assert_eq!(donor.machine(MachineId(0)).id, MachineId(0));
+        assert_eq!(donor.active_machines().len(), 16);
+
+        receiver.adopt_machine(machine);
+        assert!(receiver.has_machine(spare));
+        assert_eq!(receiver.machine(spare).state, MachineState::WarmStandby);
+        assert!(
+            receiver.machine(spare).gpu(1).temperature_c > 75.0,
+            "hardware history must travel with the machine"
+        );
+        assert_eq!(receiver.standby_machines().len(), 2);
+        // The next eviction's recovery can activate it like any other spare.
+        assert!(receiver.activate_standby(spare));
+        assert_eq!(receiver.active_machines().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "only warm-standby machines")]
+    fn releasing_an_active_machine_panics() {
+        let mut cluster = Cluster::build(ClusterSpec::small_test());
+        let _ = cluster.release_machine(MachineId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a machine")]
+    fn adopting_a_duplicate_id_panics() {
+        let mut donor = Cluster::build(ClusterSpec::small_test());
+        let mut receiver = Cluster::build(ClusterSpec::small_test());
+        let spare = donor.standby_machines()[0];
+        let machine = donor.release_machine(spare);
+        // Same spec => same id namespace => collision.
+        receiver.adopt_machine(machine);
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct JobConfig {
     pub duration: SimDuration,
     /// How many points to sample for the reported metric/ETTR series.
     pub series_points: usize,
+    /// Warm spares provisioned into the job's cluster *beyond* the binomial
+    /// P99 sizing. An over-provisioned job is a migration donor candidate
+    /// when a fleet broker needs to feed a starving job.
+    pub extra_standby_machines: usize,
 }
 
 impl JobConfig {
@@ -38,6 +42,7 @@ impl JobConfig {
             ckpt_plan: CheckpointPlan::byterobust_default(),
             duration,
             series_points: 200,
+            extra_standby_machines: 0,
         }
     }
 
@@ -80,7 +85,7 @@ impl JobConfig {
         .p99_pool_size();
         ClusterSpec {
             active_machines: self.job.machines(),
-            standby_machines: standby.max(2),
+            standby_machines: standby.max(2) + self.extra_standby_machines,
             gpus_per_machine: self.job.parallelism.gpus_per_machine as u8,
             machines_per_switch: 32.min(self.job.machines()).max(1),
         }

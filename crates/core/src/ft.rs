@@ -20,7 +20,7 @@ use byterobust_incident::{FlightRecorder, IncidentCapture, RecorderEvent, Recove
 use byterobust_parallelism::ParallelTopology;
 use byterobust_recovery::{
     DualPhaseReplay, FailoverCost, HotUpdateManager, ReplayConfig, RestartCostModel,
-    StandbyPoolConfig, UpdateRequest, UpdateUrgency, WarmStandbyPool,
+    StandbyPoolConfig, StandbyScheduler, UpdateRequest, UpdateUrgency, WarmStandbyPool,
 };
 use byterobust_sim::{SimDuration, SimRng, SimTime};
 use byterobust_telemetry::LogClass;
@@ -207,8 +207,11 @@ impl RobustController {
     /// the checkpoint manager, and the warm-standby pool scheduling draws
     /// from. Returns the resolution record.
     ///
-    /// The pool is a parameter (rather than controller state) so concurrent
-    /// jobs can share one fleet-level pool; a solo run passes its own.
+    /// The standby source is a parameter (rather than controller state) so
+    /// concurrent jobs can share one fleet-level pool — or route grants
+    /// through a fleet broker that preempts and migrates capacity between
+    /// jobs when the shared pool runs dry. A solo run passes its own
+    /// [`WarmStandbyPool`] (which implements [`StandbyScheduler`] directly).
     pub fn handle_incident(
         &mut self,
         fault: &FaultEvent,
@@ -216,7 +219,7 @@ impl RobustController {
         cluster: &mut Cluster,
         runtime: &mut TrainingRuntime,
         ckpt: &mut CkptManager,
-        standby_pool: &mut WarmStandbyPool,
+        standby_pool: &mut dyn StandbyScheduler,
     ) -> IncidentOutcome {
         let detection = self.monitor.detection_time_with_inspection(fault.kind);
         let mut cost = FailoverCost {
@@ -588,7 +591,7 @@ impl RobustController {
         cluster: &mut Cluster,
         runtime: &mut TrainingRuntime,
         ckpt: &mut CkptManager,
-        standby_pool: &mut WarmStandbyPool,
+        standby_pool: &mut dyn StandbyScheduler,
         evicted: &[MachineId],
         rolled_back: bool,
         cost: &mut FailoverCost,
@@ -611,15 +614,26 @@ impl RobustController {
         if evicted.is_empty() {
             cost.scheduling += self.restart_model.hot_update_time();
         } else {
-            cost.scheduling +=
-                self.restart_model
-                    .warm_standby_time(standby_pool, evicted.len(), now);
-            // Every eviction gets a replacement: pool standbys awaken, and
-            // any pool shortfall was rescheduled from the free pool — the
-            // reschedule path is already charged into the scheduling time
-            // above, so by the time training resumes all replacements are
-            // ready. A drained shared pool therefore costs time, not
-            // membership.
+            let scheduling = standby_pool.schedule(&self.restart_model, evicted.len(), now);
+            cost.scheduling += scheduling.duration;
+            // Every eviction gets a replacement: pool standbys awaken; a
+            // shortfall is covered by whatever the scheduler found — broker
+            // preemption, cross-job migration, or the slow reschedule path —
+            // all of it charged into the scheduling time above, so by the
+            // time training resumes all replacements are ready. A drained
+            // shared pool therefore costs time, not membership. When the pool
+            // did run dry, record it so the postmortem attributes the delay
+            // to capacity starvation rather than failure handling.
+            if scheduling.starved() {
+                self.recorder.record(
+                    now + cost.total(),
+                    RecorderEvent::CapacityStarvation {
+                        preempted: scheduling.preempted,
+                        migrated: scheduling.migrated,
+                        shortfall: scheduling.shortfall,
+                    },
+                );
+            }
             let standbys = cluster.standby_machines();
             for standby in standbys.into_iter().take(evicted.len()) {
                 cluster.activate_standby(standby);

@@ -15,7 +15,7 @@ use byterobust_incident::{
     telemetry_signature, ClassificationInput, ClassificationMatrix, IncidentDossier, IncidentStore,
     RecorderEvent,
 };
-use byterobust_recovery::WarmStandbyPool;
+use byterobust_recovery::{StandbyScheduler, WarmStandbyPool};
 use byterobust_sim::{SimDuration, SimRng, SimTime};
 use byterobust_telemetry::SystemEvent;
 use byterobust_trainsim::{LossModel, StepModel, TrainingRuntime};
@@ -98,6 +98,9 @@ pub struct JobExecution {
     end: SimTime,
     next_fault: FaultEvent,
     finished: bool,
+    /// Held in a fleet admission queue: the job exists but has not started,
+    /// and reports no next event until released.
+    held: bool,
 }
 
 impl JobExecution {
@@ -134,6 +137,7 @@ impl JobExecution {
             end,
             next_fault,
             finished: false,
+            held: false,
             config,
         }
     }
@@ -151,13 +155,54 @@ impl JobExecution {
     /// When this job's next event fires: its next injected fault, or the job
     /// end if that comes first. A fleet scheduler advances the job whose next
     /// event is earliest, which keeps shared-pool draws in global time order.
+    /// A job held in an admission queue reports [`SimTime::MAX`] — it has no
+    /// event until released.
     pub fn next_event_at(&self) -> SimTime {
+        if self.held {
+            return SimTime::MAX;
+        }
         self.next_fault.at.min(self.end)
     }
 
     /// Whether the job has reached its configured end.
     pub fn is_finished(&self) -> bool {
         self.finished
+    }
+
+    /// Parks the job in a fleet admission queue: it keeps its cluster and
+    /// seeds but reports no next event until [`JobExecution::release_at`].
+    /// Only valid before the first advance.
+    pub fn hold(&mut self) {
+        assert_eq!(self.now, SimTime::ZERO, "hold() before the first advance");
+        self.held = true;
+    }
+
+    /// Whether the job is parked in an admission queue.
+    pub fn is_held(&self) -> bool {
+        self.held
+    }
+
+    /// Releases a held job: it starts at `at` and runs for its configured
+    /// duration from there. The first fault is drawn from the injector's
+    /// stream at the admission time.
+    pub fn release_at(&mut self, at: SimTime) {
+        assert!(self.held, "release_at() requires a held job");
+        self.held = false;
+        self.now = at;
+        self.end = at + self.config.duration;
+        self.next_fault = self.injector.next_event(at);
+    }
+
+    /// The job's cluster (fleet machine migration reads spare membership).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access: the fleet runner applies broker-planned
+    /// machine migrations through this (release from the donor, adopt into
+    /// the starving job).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
     }
 
     /// The incidents closed so far.
@@ -188,8 +233,17 @@ impl JobExecution {
     }
 
     /// Advances one segment, drawing replacement machines from `pool` — the
-    /// fleet entry point, where `pool` is shared by every job in the fleet.
+    /// plain fleet entry point, where `pool` is shared by every job in the
+    /// fleet.
     pub fn advance_with_pool(&mut self, pool: &mut WarmStandbyPool) -> SegmentOutcome {
+        self.advance_with_scheduler(pool)
+    }
+
+    /// Advances one segment, covering evictions through an arbitrary standby
+    /// scheduler — a plain shared pool, or a fleet broker that preempts and
+    /// migrates capacity between jobs when the pool runs dry.
+    pub fn advance_with_scheduler(&mut self, pool: &mut dyn StandbyScheduler) -> SegmentOutcome {
+        assert!(!self.held, "a held job cannot advance before release_at()");
         if self.finished {
             return SegmentOutcome::Finished;
         }
@@ -439,6 +493,31 @@ mod tests {
                 incident.cost.total()
             );
         }
+    }
+
+    #[test]
+    fn held_jobs_report_no_event_until_released() {
+        let mut execution = JobExecution::new(JobConfig::small_test(), 21);
+        let immediate_first_event = execution.next_event_at();
+        execution.hold();
+        assert!(execution.is_held());
+        assert_eq!(execution.next_event_at(), SimTime::MAX);
+        // Released two simulated days in: the job runs its full duration
+        // from the admission time.
+        let admitted_at = SimTime::ZERO + SimDuration::from_days(2);
+        execution.release_at(admitted_at);
+        assert!(!execution.is_held());
+        assert!(execution.next_event_at() >= admitted_at);
+        assert!(execution.next_event_at() < SimTime::MAX);
+        while !execution.is_finished() {
+            execution.advance();
+        }
+        let report = execution.into_report();
+        assert!(report.final_step > 0);
+        // The accounted time covers the job's own window, not the queue wait.
+        assert!(report.ettr.total_time() >= SimDuration::from_days(2));
+        // And the immediate (unheld) first event was a real one.
+        assert!(immediate_first_event < SimTime::MAX);
     }
 
     #[test]

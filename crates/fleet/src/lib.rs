@@ -43,10 +43,21 @@
 //! modelling simplification: per-job cluster state (GPU damage, blacklists,
 //! standby activation) stays private to each job rather than flowing through
 //! a single shared hardware model, and concurrent jobs may implicate the
-//! same machine id independently. Migrating actual machine state between
-//! jobs (and giving admission control a say when the shared pool runs dry)
-//! is the ROADMAP's next fleet step.
+//! same machine id independently.
+//!
+//! The [`broker`] module chips away at that boundary: a
+//! [`FleetBroker`](broker::FleetBroker) mediates every standby grant, and
+//! when the shared pool runs dry it can preempt lower-priority replenishment
+//! slots, *migrate* a spare `Machine` object wholesale between jobs'
+//! clusters (id, hardware damage, and repeat-offender history travel with
+//! it, tracked by the fleet-shared
+//! [`FleetMachineRegistry`](byterobust_cluster::FleetMachineRegistry)), and
+//! queue job admission behind a fleet capacity limit. Migration is only
+//! planned toward a job that does not already hold the donated id, so the
+//! shared-namespace fiction never produces a duplicate machine inside one
+//! cluster.
 
+pub mod broker;
 pub mod drainer;
 pub mod ledger;
 pub mod report;
@@ -54,6 +65,7 @@ pub mod runner;
 pub mod scheduler;
 pub mod warehouse;
 
+pub use broker::{BrokerConfig, BrokerEvent, BrokerSummary, FleetBroker, JobPriority};
 pub use drainer::{BacklogDrainer, CompletedSweep};
 pub use ledger::RepeatOffenderLedger;
 pub use report::{DrainSummary, FleetJobReport, FleetReport};
@@ -63,6 +75,7 @@ pub use warehouse::{IncidentWarehouse, WarehouseHit};
 
 /// Convenience prelude for downstream crates.
 pub mod prelude {
+    pub use crate::broker::{BrokerConfig, BrokerEvent, BrokerSummary, FleetBroker, JobPriority};
     pub use crate::drainer::{BacklogDrainer, CompletedSweep};
     pub use crate::ledger::RepeatOffenderLedger;
     pub use crate::report::{DrainSummary, FleetJobReport, FleetReport};

@@ -4,10 +4,11 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use byterobust_cluster::MachineId;
+use byterobust_cluster::{MachineId, MigrationRecord};
 use byterobust_core::JobReport;
 use byterobust_incident::Escalation;
 
+use crate::broker::BrokerSummary;
 use crate::drainer::CompletedSweep;
 use crate::warehouse::IncidentWarehouse;
 
@@ -69,8 +70,19 @@ pub struct FleetReport {
     pub shared_pool_target: usize,
     /// Standbys ready in the shared pool when the fleet finished.
     pub shared_pool_ready_final: usize,
+    /// Grant requests the pool could not fully cover (capacity starvation).
+    pub pool_shortfall_events: usize,
+    /// Machines across all requests the pool could not cover.
+    pub pool_shortfall_machines: usize,
     /// What per-job (unshared) P99 pools would have provisioned in total.
     pub solo_pool_sum: usize,
+    /// Cross-job machine migrations the broker performed, in grant order.
+    pub migrations: Vec<MigrationRecord>,
+    /// What the fleet broker did (`None` when the broker was disabled). The
+    /// rendered report only carries a broker section when the broker actually
+    /// intervened, so a brokered run of a non-starved fleet stays
+    /// byte-identical to a broker-disabled run.
+    pub broker: Option<BrokerSummary>,
 }
 
 impl FleetReport {
@@ -97,6 +109,41 @@ impl FleetReport {
     /// Total incidents across the fleet.
     pub fn total_incidents(&self) -> usize {
         self.jobs.iter().map(|job| job.report.incidents.len()).sum()
+    }
+
+    /// Fleet-wide unproductive time in seconds, across every job.
+    pub fn fleet_unproductive_secs(&self) -> f64 {
+        self.jobs
+            .iter()
+            .map(|job| {
+                job.report.ettr.total_time().as_secs_f64()
+                    - job.report.ettr.productive_time().as_secs_f64()
+            })
+            .sum()
+    }
+
+    /// Incidents whose recovery was delayed by capacity starvation (the
+    /// shared pool could not cover their evictions), per job label.
+    pub fn starved_incidents_by_job(&self) -> BTreeMap<&str, usize> {
+        let mut counts = BTreeMap::new();
+        for job in &self.jobs {
+            let starved = job
+                .report
+                .incident_store
+                .all()
+                .iter()
+                .filter(|dossier| dossier.capture.capacity_starved())
+                .count();
+            if starved > 0 {
+                counts.insert(job.label.as_str(), starved);
+            }
+        }
+        counts
+    }
+
+    /// Total capacity-starved incidents across the fleet.
+    pub fn starved_incidents(&self) -> usize {
+        self.starved_incidents_by_job().values().sum()
     }
 
     /// Renders the report as a deterministic plain-text document.
@@ -188,6 +235,35 @@ impl FleetReport {
             "\n-- shared standby pool: target {} (vs {} if provisioned per job), {} ready at end",
             self.shared_pool_target, self.solo_pool_sum, self.shared_pool_ready_final,
         );
+        let _ = writeln!(
+            out,
+            "  starvation: {} request(s) shortfalled ({} machine(s) uncovered by ready standbys)",
+            self.pool_shortfall_events, self.pool_shortfall_machines,
+        );
+
+        // The broker section exists only when the broker intervened: a
+        // brokered run of a non-starved fleet renders byte-identically to a
+        // broker-disabled run.
+        if let Some(broker) = self
+            .broker
+            .as_ref()
+            .filter(|summary| summary.has_activity())
+        {
+            let _ = writeln!(out, "\n-- fleet broker");
+            for line in &broker.lines {
+                let _ = writeln!(out, "{line}");
+            }
+            let _ = writeln!(
+                out,
+                "  totals: {} slot(s) preempted, {} machine(s) migrated, {} job(s) queued, \
+                 {} machine(s) still rescheduled",
+                broker.preempted_slots,
+                broker.migrated_machines,
+                broker.queued_jobs,
+                broker.residual_shortfall_machines,
+            );
+        }
+
         let _ = writeln!(
             out,
             "\nfleet ETTR = {:.4} over {} incidents",

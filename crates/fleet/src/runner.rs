@@ -23,6 +23,7 @@ use byterobust_recovery::WarmStandbyPool;
 use byterobust_sim::{SimDuration, SimRng, SimTime};
 use byterobust_trainsim::JobSpec;
 
+use crate::broker::{BrokerConfig, BrokeredScheduler, FleetBroker, JobPriority};
 use crate::drainer::BacklogDrainer;
 use crate::ledger::RepeatOffenderLedger;
 use crate::report::{DrainSummary, FleetJobReport, FleetReport};
@@ -30,22 +31,31 @@ use crate::scheduler::{EventScheduler, SchedulerKind};
 use crate::warehouse::IncidentWarehouse;
 
 /// One job in the fleet: a label (unique within the fleet) plus its
-/// configuration.
+/// configuration and broker priority.
 #[derive(Debug, Clone)]
 pub struct FleetJob {
     /// Display label; also the warehouse shard key.
     pub label: String,
     /// The job's configuration.
     pub config: JobConfig,
+    /// Broker priority: admission order, and who may preempt whom.
+    pub priority: JobPriority,
 }
 
 impl FleetJob {
-    /// Creates a labelled fleet job.
+    /// Creates a labelled fleet job at [`JobPriority::Standard`].
     pub fn new(label: impl Into<String>, config: JobConfig) -> Self {
         FleetJob {
             label: label.into(),
             config,
+            priority: JobPriority::default(),
         }
+    }
+
+    /// Sets the job's broker priority.
+    pub fn with_priority(mut self, priority: JobPriority) -> Self {
+        self.priority = priority;
+        self
     }
 }
 
@@ -59,17 +69,44 @@ pub struct FleetConfig {
     pub repeat_offender_threshold: usize,
     /// Warehouse time-bucket width.
     pub bucket_width: SimDuration,
+    /// Overrides the shared standby pool's target size (e.g. a deliberately
+    /// starved pool for broker drills). `None` uses the pooled P99 sizing.
+    pub pool_override: Option<usize>,
+    /// Fleet resource broker. `None` runs the un-brokered baseline: the pool
+    /// degrades to the slow reschedule path when it runs dry.
+    pub broker: Option<BrokerConfig>,
 }
 
 impl FleetConfig {
     /// A fleet with default warehouse bucketing (1 h) and offender threshold
-    /// (2 incidents).
+    /// (2 incidents), broker disabled.
     pub fn new(jobs: Vec<FleetJob>) -> Self {
         FleetConfig {
             jobs,
             repeat_offender_threshold: 2,
             bucket_width: SimDuration::from_hours(1),
+            pool_override: None,
+            broker: None,
         }
+    }
+
+    /// Enables the fleet broker with the given policy.
+    pub fn with_broker(mut self, broker: BrokerConfig) -> Self {
+        self.broker = Some(broker);
+        self
+    }
+
+    /// Disables the fleet broker (the un-brokered baseline of the same
+    /// fleet).
+    pub fn without_broker(mut self) -> Self {
+        self.broker = None;
+        self
+    }
+
+    /// Overrides the shared pool's target size.
+    pub fn with_pool_override(mut self, target: usize) -> Self {
+        self.pool_override = Some(target);
+        self
     }
 
     /// The three-job drill used by `examples/fleet_drill.rs`, the fleet bench
@@ -132,6 +169,47 @@ impl FleetConfig {
         FleetConfig::new(jobs)
     }
 
+    /// A fleet engineered to starve the shared standby pool — the
+    /// pool-exhaustion drill behind the broker benchmarks and the baseline
+    /// regression tests. Four 16-machine jobs at drill fault rates share a
+    /// single-standby pool: every multi-machine eviction shortfalls. One job
+    /// is `Critical` (the intended preemption/migration beneficiary), one is
+    /// an over-provisioned `BestEffort` donor carrying twelve extra warm
+    /// spares, one is a plain `BestEffort` job whose replenishment slots are
+    /// preemption fodder, and one queues behind a 48-machine admission limit
+    /// when the broker is enabled. Run it `without_broker()` for the degraded
+    /// baseline the broker must beat.
+    pub fn starved_drill() -> Self {
+        let critical = JobConfig::small_test();
+
+        let mut donor = JobConfig::small_test();
+        donor.job.model.name = "batch-donor".to_string();
+        donor.extra_standby_machines = 12;
+
+        let mut filler = JobConfig::small_test();
+        filler.job.model.name = "batch-filler".to_string();
+        filler.fault.manual_restart_interval = SimDuration::from_hours(4);
+        // A hot fault rate keeps pool replenishments in flight, so the
+        // critical job finds lower-priority slots to preempt.
+        filler.fault.reference_mtbf = SimDuration::from_hours(1);
+
+        let mut queued = JobConfig::small_test();
+        queued.job.model.name = "batch-queued".to_string();
+
+        let mut config = FleetConfig::new(vec![
+            FleetJob::new("prod-critical", critical).with_priority(JobPriority::Critical),
+            FleetJob::new("batch-donor", donor).with_priority(JobPriority::BestEffort),
+            FleetJob::new("batch-filler", filler).with_priority(JobPriority::BestEffort),
+            FleetJob::new("batch-queued", queued).with_priority(JobPriority::BestEffort),
+        ]);
+        config.pool_override = Some(2);
+        config.broker = Some(BrokerConfig {
+            admission_limit: Some(48),
+            reserve_for_priority: 1,
+        });
+        config
+    }
+
     /// Total machine demand across the fleet: the sum of every job's
     /// footprint. This is what sizes the shared standby pool. (Machine
     /// *identity* is a separate matter — jobs address one fleet-wide
@@ -145,9 +223,14 @@ impl FleetConfig {
     /// applied to the *fleet's* total machine count, so the comparison
     /// against [`FleetConfig::solo_pool_sum`] is apples to apples. Sharing
     /// is the point — the binomial P99 of the pooled demand is smaller than
-    /// the sum of per-job P99 pools.
+    /// the sum of per-job P99 pools. [`FleetConfig::pool_override`] replaces
+    /// the target size (starvation drills).
     pub fn shared_pool(&self) -> WarmStandbyPool {
-        RobustController::default_standby_pool(self.total_machines().max(1))
+        let pool = RobustController::default_standby_pool(self.total_machines().max(1));
+        match self.pool_override {
+            Some(target) => WarmStandbyPool::with_target_size(*pool.config(), target),
+            None => pool,
+        }
     }
 
     /// What provisioning standbys per job (no sharing) would cost: the sum of
@@ -214,10 +297,30 @@ impl FleetRunner {
             .map(|(i, job)| JobExecution::new(job.config.clone(), rng.fork(i as u64 + 1).seed()))
             .collect();
         let mut tie_rng = rng.fork(0xF1EE7);
+
+        // Every machine grant is mediated by the broker. With the broker
+        // disabled (`config.broker == None`) it is a strict pass-through to
+        // the shared pool and this loop behaves exactly as the un-brokered
+        // runner did.
+        let pool = self.config.shared_pool();
+        let pool_target = pool.target_size();
+        let mut broker = FleetBroker::new(&self.config, pool);
+        if broker.enabled() {
+            for (i, execution) in executions.iter().enumerate() {
+                let members: Vec<_> = execution
+                    .cluster()
+                    .machines()
+                    .iter()
+                    .map(|machine| machine.id)
+                    .collect();
+                broker.register_job(i, &members, &execution.cluster().standby_machines());
+            }
+        }
+        for index in broker.plan_admission() {
+            executions[index].hold();
+        }
         let mut scheduler = EventScheduler::new(scheduler_kind, &executions);
 
-        let mut pool = self.config.shared_pool();
-        let pool_target = pool.target_size();
         let mut warehouse = IncidentWarehouse::new(self.config.bucket_width);
         let mut drainer = BacklogDrainer::new();
         let mut ledger = RepeatOffenderLedger::new(self.config.repeat_offender_threshold);
@@ -229,19 +332,31 @@ impl FleetRunner {
         // The unfinished job with the earliest next event; simultaneous
         // events are broken by the interleave stream inside the scheduler.
         while let Some((event_at, index)) = scheduler.next(&executions, &mut tie_rng) {
+            assert!(
+                event_at < SimTime::MAX,
+                "scheduler picked a job still held in the admission queue"
+            );
             events_processed += 1;
 
             // Complete sweeps due by this event and return cleared machines
-            // to the shared pool before the next job draws from it.
+            // to the shared pool before the next job draws from it (each
+            // machine at most once — two sweeps can both clear the same id).
             for sweep in drainer.tick(event_at) {
-                pool.restock(sweep.passed.len());
-                machines_returned += sweep.passed.len();
+                for &machine in &sweep.passed {
+                    if broker.restock(machine) {
+                        machines_returned += 1;
+                    }
+                }
                 machines_confirmed_faulty += sweep.failed.len();
                 sweeps_completed_in_run += 1;
             }
 
             let label = &self.config.jobs[index].label;
-            match executions[index].advance_with_pool(&mut pool) {
+            let outcome = {
+                let mut grants = BrokeredScheduler::new(&mut broker, index);
+                executions[index].advance_with_scheduler(&mut grants)
+            };
+            match outcome {
                 SegmentOutcome::Finished => {}
                 SegmentOutcome::Incident { seq } => {
                     // Borrow the dossier where it lives (the job's own store);
@@ -252,6 +367,7 @@ impl FleetRunner {
                         .expect("closed incident is stored");
                     let closed_at = dossier.at + dossier.cost.total();
                     let offenders_changed = ledger.observe(dossier);
+                    broker.note_incident(&dossier.evicted);
                     drainer.dispatch(label, dossier, closed_at);
                     warehouse.insert(label, dossier.clone());
                     // Re-publish the cross-job offender set only when a
@@ -267,6 +383,30 @@ impl FleetRunner {
                         }
                     }
                 }
+            }
+            // A job can finish on either outcome (its last incident's
+            // unproductive tail can run past the configured end). Either
+            // way, a finished job frees its footprint: admit queued jobs
+            // that now fit, starting them at this event time.
+            if executions[index].is_finished() {
+                for admitted in broker.on_job_finished(index, event_at) {
+                    executions[admitted].release_at(event_at);
+                    scheduler.reschedule(admitted, &executions);
+                }
+            }
+            // Apply broker-planned migrations now that the advancing job's
+            // borrow has ended: the Machine object moves wholesale, so its id
+            // and hardware history arrive with it.
+            for migration in broker.take_pending_migrations() {
+                let machine = executions[migration.from_job]
+                    .cluster_mut()
+                    .release_machine(migration.machine);
+                executions[migration.to_job]
+                    .cluster_mut()
+                    .adopt_machine(machine);
+            }
+            if broker.enabled() {
+                broker.sync_spares(index, &executions[index].cluster().standby_machines());
             }
             scheduler.reschedule(index, &executions);
         }
@@ -284,8 +424,11 @@ impl FleetRunner {
             + SimDuration::from_days(365);
         let mut sweeps_completed_post_run = 0usize;
         for sweep in drainer.tick(horizon) {
-            pool.restock(sweep.passed.len());
-            machines_returned += sweep.passed.len();
+            for &machine in &sweep.passed {
+                if broker.restock(machine) {
+                    machines_returned += 1;
+                }
+            }
             machines_confirmed_faulty += sweep.failed.len();
             sweeps_completed_post_run += 1;
         }
@@ -323,8 +466,12 @@ impl FleetRunner {
             repeat_offenders: ledger.offender_counts(),
             repeat_offender_threshold: ledger.threshold(),
             shared_pool_target: pool_target,
-            shared_pool_ready_final: pool.ready(),
+            shared_pool_ready_final: broker.pool().ready(),
+            pool_shortfall_events: broker.pool().shortfall_events(),
+            pool_shortfall_machines: broker.pool().shortfall_machines(),
             solo_pool_sum: self.config.solo_pool_sum(),
+            migrations: broker.registry().migrations().to_vec(),
+            broker: broker.summary(),
         }
     }
 }

@@ -157,6 +157,18 @@ pub enum RecorderEvent {
         /// Optimizer step training resumed from.
         step: u64,
     },
+    /// The warm-standby pool could not cover this incident's evictions: part
+    /// of the delay is capacity starvation, not failure handling. Records how
+    /// the gap was closed (broker preemption / cross-job migration) and what
+    /// remained for the slow reschedule path.
+    CapacityStarvation {
+        /// Machines covered by preempting another job's replenishment slot.
+        preempted: usize,
+        /// Machines covered by migrating a spare machine from another job.
+        migrated: usize,
+        /// Machines nothing could cover (rescheduled from the free pool).
+        shortfall: usize,
+    },
 }
 
 impl RecorderEvent {
@@ -174,7 +186,8 @@ impl RecorderEvent {
             | RecorderEvent::Eviction { .. }
             | RecorderEvent::Rollback { .. }
             | RecorderEvent::HotUpdateApplied { .. }
-            | RecorderEvent::Resumed { .. } => EvidenceSource::Controller,
+            | RecorderEvent::Resumed { .. }
+            | RecorderEvent::CapacityStarvation { .. } => EvidenceSource::Controller,
         }
     }
 
@@ -260,6 +273,17 @@ impl fmt::Display for RecorderEvent {
                 write!(f, "merged pending hot update -> v{version}")
             }
             RecorderEvent::Resumed { step } => write!(f, "training resumed from step {step}"),
+            RecorderEvent::CapacityStarvation {
+                preempted,
+                migrated,
+                shortfall,
+            } => {
+                write!(
+                    f,
+                    "standby pool starved: {preempted} covered by preemption, {migrated} by \
+                     migration, {shortfall} rescheduled from the free pool"
+                )
+            }
         }
     }
 }
@@ -299,6 +323,15 @@ pub struct IncidentCapture {
 }
 
 impl IncidentCapture {
+    /// Whether this incident's recovery was delayed by capacity starvation
+    /// (the warm-standby pool could not cover its evictions) rather than by
+    /// failure handling alone.
+    pub fn capacity_starved(&self) -> bool {
+        self.window
+            .iter()
+            .any(|entry| matches!(entry.event, RecorderEvent::CapacityStarvation { .. }))
+    }
+
     /// An empty capture, for synthesizing dossiers in tests and tools.
     pub fn empty(seq: u64, kind: FaultKind, at: SimTime) -> Self {
         IncidentCapture {

@@ -17,7 +17,7 @@ pub use binomial::binomial_quantile;
 pub use failover::FailoverCost;
 pub use hot_update::{HotUpdateManager, UpdateRequest, UpdateUrgency};
 pub use replay::{DualPhaseReplay, ReplayConfig, ReplayOutcome};
-pub use restart::{RestartCostModel, RestartStrategy};
+pub use restart::{RestartCostModel, RestartStrategy, SchedulingOutcome, StandbyScheduler};
 pub use standby::{StandbyPoolConfig, WarmStandbyPool};
 
 /// Convenience prelude for downstream crates.
@@ -26,6 +26,8 @@ pub mod prelude {
     pub use crate::failover::FailoverCost;
     pub use crate::hot_update::{HotUpdateManager, UpdateRequest, UpdateUrgency};
     pub use crate::replay::{DualPhaseReplay, ReplayConfig, ReplayOutcome};
-    pub use crate::restart::{RestartCostModel, RestartStrategy};
+    pub use crate::restart::{
+        RestartCostModel, RestartStrategy, SchedulingOutcome, StandbyScheduler,
+    };
     pub use crate::standby::{StandbyPoolConfig, WarmStandbyPool};
 }

@@ -16,9 +16,84 @@
 
 use serde::{Deserialize, Serialize};
 
-use byterobust_sim::SimDuration;
+use byterobust_sim::{SimDuration, SimTime};
 
 use crate::standby::WarmStandbyPool;
+
+/// What a [`StandbyScheduler`] did to cover one eviction batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SchedulingOutcome {
+    /// Scheduling time charged to the incident (the slowest covering path).
+    pub duration: SimDuration,
+    /// Machines covered by ready warm standbys.
+    pub granted: usize,
+    /// Machines covered by preempting a lower-priority job's replenishment
+    /// slot (zero outside a brokered fleet).
+    pub preempted: usize,
+    /// Machines covered by migrating a spare machine from another job (zero
+    /// outside a brokered fleet).
+    pub migrated: usize,
+    /// Machines nothing could cover: rescheduled from the free pool at full
+    /// cost. Any non-zero value here (or in `preempted`/`migrated`) means the
+    /// incident's delay was partly capacity starvation, not failure handling.
+    pub shortfall: usize,
+}
+
+impl SchedulingOutcome {
+    /// Whether the standby pool ran dry while covering this eviction batch —
+    /// the capacity-starvation marker the flight recorder attributes.
+    pub fn starved(&self) -> bool {
+        self.preempted + self.migrated + self.shortfall > 0
+    }
+}
+
+/// A source of replacement machines for evictions. The plain
+/// [`WarmStandbyPool`] implements it for solo jobs; a fleet broker implements
+/// it to mediate grants across concurrent jobs (preempting lower-priority
+/// replenishments and migrating spare machines when the shared pool runs
+/// dry).
+pub trait StandbyScheduler {
+    /// Covers `evicted` machines at `now`, charging the slowest covering
+    /// path. `evicted == 0` is the in-place (hot-update) restart.
+    fn schedule(
+        &mut self,
+        model: &RestartCostModel,
+        evicted: usize,
+        now: SimTime,
+    ) -> SchedulingOutcome;
+}
+
+impl StandbyScheduler for WarmStandbyPool {
+    fn schedule(
+        &mut self,
+        model: &RestartCostModel,
+        evicted: usize,
+        now: SimTime,
+    ) -> SchedulingOutcome {
+        if evicted == 0 {
+            return SchedulingOutcome {
+                duration: model.hot_update_time(),
+                ..SchedulingOutcome::default()
+            };
+        }
+        let grant = self.request(evicted, now);
+        let duration = if grant.shortfall == 0 {
+            model.standby_awaken
+        } else {
+            // The granted standbys awaken in parallel with rescheduling the
+            // shortfall; the slower path dominates.
+            model
+                .standby_awaken
+                .max(model.reschedule_time(grant.shortfall))
+        };
+        SchedulingOutcome {
+            duration,
+            granted: grant.granted,
+            shortfall: grant.shortfall,
+            ..SchedulingOutcome::default()
+        }
+    }
+}
 
 /// Which restart strategy is used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -141,20 +216,24 @@ impl RestartCostModel {
         &self,
         pool: &mut WarmStandbyPool,
         evicted: usize,
-        now: byterobust_sim::SimTime,
+        now: SimTime,
     ) -> SimDuration {
-        if evicted == 0 {
-            return self.hot_update_time();
-        }
-        let grant = pool.request(evicted, now);
-        if grant.shortfall == 0 {
-            self.standby_awaken
-        } else {
-            // The granted standbys awaken in parallel with rescheduling the
-            // shortfall; the slower path dominates.
-            self.standby_awaken
-                .max(self.reschedule_time(grant.shortfall))
-        }
+        pool.schedule(self, evicted, now).duration
+    }
+
+    /// Time to migrate a healthy spare machine from another job into this
+    /// one: drain it from the donor, re-target its (pre-built) pod at the
+    /// receiving job's image, and join at the barrier. No machine allocation
+    /// and no image install — strictly cheaper than rescheduling from the
+    /// free pool.
+    pub fn migration_time(&self) -> SimDuration {
+        self.standby_awaken + SimDuration::from_secs(120)
+    }
+
+    /// Time for a machine whose replenishment slot was preempted from another
+    /// job to come online: wait out the remaining provisioning, then awaken.
+    pub fn preempted_slot_time(&self, now: SimTime, completes_at: SimTime) -> SimDuration {
+        completes_at.saturating_since(now) + self.standby_awaken
     }
 
     /// Scheduling time for a non-mutating strategy (requeue / reschedule /
@@ -247,5 +326,45 @@ mod tests {
     fn strategy_names() {
         assert_eq!(RestartStrategy::WarmStandby.name(), "ByteRobust");
         assert_eq!(RestartStrategy::ALL.len(), 4);
+    }
+
+    #[test]
+    fn pool_scheduler_reports_starvation() {
+        let model = RestartCostModel::for_job(1024);
+        let mut pool = WarmStandbyPool::new(StandbyPoolConfig::for_job(1024, 0.002));
+        // In-place restart: no machines, hot-update cost, no starvation.
+        let inplace = pool.schedule(&model, 0, SimTime::ZERO);
+        assert_eq!(inplace.duration, model.hot_update_time());
+        assert!(!inplace.starved());
+        // Covered eviction: awaken cost, no starvation.
+        let covered = pool.schedule(&model, 1, SimTime::ZERO);
+        assert_eq!(covered.duration, model.standby_awaken);
+        assert_eq!(covered.granted, 1);
+        assert!(!covered.starved());
+        // A drained pool reports the shortfall so the incident can be
+        // attributed to capacity starvation.
+        let starved = pool.schedule(&model, 40, SimTime::ZERO);
+        assert!(starved.shortfall > 0);
+        assert!(starved.starved());
+        assert_eq!(starved.duration, model.reschedule_time(starved.shortfall));
+    }
+
+    #[test]
+    fn migration_beats_reschedule_and_preemption_is_bounded() {
+        let model = RestartCostModel::for_job(128);
+        assert!(
+            model.migration_time() < model.reschedule_time(1),
+            "migration ({}) must be strictly cheaper than rescheduling ({})",
+            model.migration_time(),
+            model.reschedule_time(1)
+        );
+        // A slot completing immediately costs just the awaken; one completing
+        // later costs the wait on top.
+        let now = SimTime::from_secs(100);
+        assert_eq!(model.preempted_slot_time(now, now), model.standby_awaken);
+        assert_eq!(
+            model.preempted_slot_time(now, now + SimDuration::from_secs(90)),
+            model.standby_awaken + SimDuration::from_secs(90)
+        );
     }
 }

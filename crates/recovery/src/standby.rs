@@ -6,8 +6,11 @@
 //! controller awakens standbys instead of asking the cluster scheduler for new
 //! machines; the pool is replenished asynchronously afterwards.
 
+use std::collections::BTreeSet;
+
 use serde::{Deserialize, Serialize};
 
+use byterobust_cluster::MachineId;
 use byterobust_sim::{SimDuration, SimTime};
 
 use crate::binomial::binomial_quantile;
@@ -71,17 +74,36 @@ pub struct WarmStandbyPool {
     ready: usize,
     /// Completion times of in-flight replenishments.
     provisioning: Vec<SimTime>,
+    /// Identities of restocked machines currently sitting in the ready pool.
+    /// Freshly provisioned standbys are anonymous; machines returned through
+    /// [`WarmStandbyPool::restock`] keep their identity so a double return of
+    /// the same machine (e.g. two sweeps both naming it) cannot inflate the
+    /// ready count.
+    restocked: BTreeSet<MachineId>,
+    /// Requests that could not be fully covered by ready standbys.
+    shortfall_events: usize,
+    /// Machines across all requests that had to be covered outside the pool.
+    shortfall_machines: usize,
 }
 
 impl WarmStandbyPool {
     /// Creates a pool at its target (P99) size, fully provisioned.
     pub fn new(config: StandbyPoolConfig) -> Self {
         let target = config.p99_pool_size();
+        Self::with_target_size(config, target)
+    }
+
+    /// Creates a pool with an explicit target size (e.g. a deliberately
+    /// under-provisioned pool for starvation drills), fully provisioned.
+    pub fn with_target_size(config: StandbyPoolConfig, target: usize) -> Self {
         WarmStandbyPool {
             config,
             target_size: target,
             ready: target,
             provisioning: Vec::new(),
+            restocked: BTreeSet::new(),
+            shortfall_events: 0,
+            shortfall_machines: 0,
         }
     }
 
@@ -119,10 +141,35 @@ impl WarmStandbyPool {
     /// rescheduled by the caller. Replenishment for everything consumed is
     /// kicked off asynchronously and completes after the provisioning delay.
     pub fn request(&mut self, evicted: usize, now: SimTime) -> StandbyGrant {
+        self.request_with_floor(evicted, now, 0)
+    }
+
+    /// Like [`WarmStandbyPool::request`], but never draws the pool below
+    /// `floor` ready standbys — a fleet broker holds the last standbys in
+    /// reserve for higher-priority jobs, so a lower-priority request sees
+    /// them as a shortfall. `floor == 0` is exactly `request`.
+    pub fn request_with_floor(
+        &mut self,
+        evicted: usize,
+        now: SimTime,
+        floor: usize,
+    ) -> StandbyGrant {
         self.tick(now);
-        let granted = evicted.min(self.ready);
+        let granted = evicted.min(self.ready.saturating_sub(floor));
         let shortfall = evicted - granted;
         self.ready -= granted;
+        if shortfall > 0 {
+            self.shortfall_events += 1;
+            self.shortfall_machines += shortfall;
+        }
+        // Granted standbys leave the pool; named restocked members are drawn
+        // first (smallest id first, deterministically) so their identities
+        // become eligible for a future restock once they are back out in a
+        // job.
+        for _ in 0..granted.min(self.restocked.len()) {
+            let first = *self.restocked.iter().next().expect("non-empty set");
+            self.restocked.remove(&first);
+        }
         // Replenish what was consumed (and any standing deficit vs target).
         let deficit = self
             .target_size
@@ -133,13 +180,51 @@ impl WarmStandbyPool {
         StandbyGrant { granted, shortfall }
     }
 
-    /// Returns cleared machines to the ready pool — over-evicted machines
-    /// that passed a background stress-test sweep re-enter as warm standbys
-    /// (they are already provisioned; only the sweep stood between them and
-    /// the pool). The pool may transiently exceed its target size; the next
-    /// `request` simply provisions less.
-    pub fn restock(&mut self, machines: usize) {
-        self.ready += machines;
+    /// Returns a cleared machine to the ready pool — an over-evicted machine
+    /// that passed a background stress-test sweep re-enters as a warm standby
+    /// (it is already provisioned; only the sweep stood between it and the
+    /// pool). Returns `true` when the machine actually joined, `false` when
+    /// it was already sitting in the pool (two sweeps can both name the same
+    /// machine; a duplicate return must not inflate the ready count). The
+    /// pool may transiently exceed its target size; the next `request` simply
+    /// provisions less.
+    pub fn restock(&mut self, machine: MachineId) -> bool {
+        if !self.restocked.insert(machine) {
+            return false;
+        }
+        self.ready += 1;
+        true
+    }
+
+    /// Cancels one in-flight replenishment completing exactly at
+    /// `completes_at` (a fleet broker reassigning a lower-priority job's
+    /// replenishment slot to a starving job). Returns `false` if no such
+    /// replenishment is in flight.
+    pub fn cancel_provisioning(&mut self, completes_at: SimTime) -> bool {
+        match self.provisioning.iter().position(|&t| t == completes_at) {
+            Some(index) => {
+                self.provisioning.remove(index);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Completion times of in-flight replenishments (sorted ascending).
+    pub fn provisioning_times(&self) -> Vec<SimTime> {
+        let mut times = self.provisioning.clone();
+        times.sort_unstable();
+        times
+    }
+
+    /// Requests that could not be fully covered by ready standbys so far.
+    pub fn shortfall_events(&self) -> usize {
+        self.shortfall_events
+    }
+
+    /// Total machines across all requests that the pool could not cover.
+    pub fn shortfall_machines(&self) -> usize {
+        self.shortfall_machines
     }
 
     /// Time for granted standbys to join the job (wake from sleep + barrier).
@@ -230,11 +315,86 @@ mod tests {
         assert_eq!(p.ready(), 0);
         // A swept machine returns before provisioning completes and covers
         // the next eviction with no shortfall.
-        p.restock(1);
+        assert!(p.restock(MachineId(7)));
         assert_eq!(p.ready(), 1);
         let grant = p.request(1, SimTime::ZERO + SimDuration::from_secs(30));
         assert_eq!(grant.granted, 1);
         assert_eq!(grant.shortfall, 0);
+    }
+
+    #[test]
+    fn restock_deduplicates_machines_already_in_the_pool() {
+        // Regression: two stress-test sweeps can both clear the same machine
+        // (same fleet id implicated by two incidents); returning it twice
+        // must not count it as two ready standbys.
+        let mut p = pool();
+        let consumed = p.target_size();
+        p.request(consumed, SimTime::ZERO);
+        assert_eq!(p.ready(), 0);
+        assert!(p.restock(MachineId(4)), "first return joins the pool");
+        assert!(
+            !p.restock(MachineId(4)),
+            "second return of the same machine is a duplicate"
+        );
+        assert_eq!(p.ready(), 1, "duplicate restock must not inflate ready");
+        assert!(p.restock(MachineId(5)), "a different machine still joins");
+        assert_eq!(p.ready(), 2);
+        // Once the machine has been drawn back out of the pool it can
+        // legitimately return again after a later incident.
+        let grant = p.request(2, SimTime::ZERO + SimDuration::from_secs(10));
+        assert_eq!(grant.granted, 2);
+        assert!(
+            p.restock(MachineId(4)),
+            "a machine drawn out of the pool can be restocked again"
+        );
+    }
+
+    #[test]
+    fn shortfall_stats_accumulate() {
+        let mut p = pool();
+        assert_eq!(p.shortfall_events(), 0);
+        let big = p.target_size() + 5;
+        p.request(big, SimTime::ZERO);
+        assert_eq!(p.shortfall_events(), 1);
+        assert_eq!(p.shortfall_machines(), 5);
+        // A covered request leaves the stats untouched.
+        p.tick(SimTime::ZERO + p.provision_time());
+        p.request(1, SimTime::ZERO + p.provision_time());
+        assert_eq!(p.shortfall_events(), 1);
+        assert_eq!(p.shortfall_machines(), 5);
+    }
+
+    #[test]
+    fn reserve_floor_holds_back_the_last_standbys() {
+        let mut p = pool();
+        let target = p.target_size();
+        // A low-priority request against a floor of 1 leaves one standby
+        // ready and reports the held-back machine as a shortfall.
+        let grant = p.request_with_floor(target, SimTime::ZERO, 1);
+        assert_eq!(grant.granted, target - 1);
+        assert_eq!(grant.shortfall, 1);
+        assert_eq!(p.ready(), 1);
+        // The reserved standby is still grantable to a floor-exempt request.
+        let grant = p.request(1, SimTime::ZERO);
+        assert_eq!(grant.granted, 1);
+        assert_eq!(grant.shortfall, 0);
+        // A floor above the ready count grants nothing.
+        let grant = p.request_with_floor(1, SimTime::ZERO, target + 5);
+        assert_eq!(grant.granted, 0);
+        assert_eq!(grant.shortfall, 1);
+    }
+
+    #[test]
+    fn cancel_provisioning_removes_one_slot() {
+        let mut p = pool();
+        p.request(2, SimTime::ZERO);
+        assert_eq!(p.in_flight(), 2);
+        let completes = p.provisioning_times()[0];
+        assert!(p.cancel_provisioning(completes));
+        assert_eq!(p.in_flight(), 1);
+        // Cancelling a time with no matching slot is a no-op.
+        assert!(!p.cancel_provisioning(SimTime::from_secs(1)));
+        assert_eq!(p.in_flight(), 1);
     }
 
     #[test]

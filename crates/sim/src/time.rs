@@ -180,6 +180,11 @@ impl SimTime {
     /// The origin of simulated time.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The far end of the simulated timeline. Used as a sentinel key for
+    /// events that can never fire (e.g. a job held in an admission queue);
+    /// never a real event time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates an instant from milliseconds since the origin.
     pub const fn from_millis(ms: u64) -> Self {
         SimTime(ms)

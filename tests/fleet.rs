@@ -229,6 +229,154 @@ fn backlog_sweeps_drain_in_run_and_return_machines_to_standby() {
     assert!(report.render().contains("returned to standby"));
 }
 
+/// One shared starved-drill pair (broker off / broker on, same seed) — the
+/// broker comparisons all read these two reports.
+fn starved_pair() -> &'static (FleetReport, FleetReport) {
+    static PAIR: OnceLock<(FleetReport, FleetReport)> = OnceLock::new();
+    PAIR.get_or_init(|| {
+        let config = FleetConfig::starved_drill();
+        let off = FleetRunner::new(config.clone().without_broker(), 20250916 + 51).run();
+        let on = FleetRunner::new(config, 20250916 + 51).run();
+        (off, on)
+    })
+}
+
+#[test]
+fn pool_exhaustion_baseline_degrades_without_the_broker() {
+    // Satellite regression: the starved drill's standby demand exceeds
+    // supply, and WITHOUT the broker the fleet silently degrades — every
+    // shortfall pays the slow reschedule path. This pins that degraded
+    // baseline as the bar the broker must beat.
+    let (off, _) = starved_pair();
+    assert!(off.broker.is_none(), "baseline runs broker-disabled");
+    assert!(
+        off.pool_shortfall_events > 0,
+        "the starved drill must actually exhaust the pool"
+    );
+    assert!(off.pool_shortfall_machines >= off.pool_shortfall_events);
+    // Capacity starvation is attributed on the incidents themselves (flight
+    // recorder markers), not just in pool counters.
+    assert_eq!(off.starved_incidents(), off.pool_shortfall_events);
+    assert!(
+        off.starved_incidents_by_job().len() > 1,
+        "starvation hits several jobs"
+    );
+    // Un-brokered: nothing covered the gap.
+    assert!(off.migrations.is_empty());
+    assert!(off.render().contains("request(s) shortfalled"));
+    assert!(!off.render().contains("-- fleet broker"));
+}
+
+#[test]
+fn broker_recovers_the_starved_fleet_faster_than_the_baseline() {
+    let (off, on) = starved_pair();
+    let broker = on
+        .broker
+        .as_ref()
+        .expect("starved drill enables the broker");
+    assert!(broker.has_activity());
+    assert!(broker.migrated_machines > 0, "migration must fire");
+    assert!(
+        broker.reserve_held_machines > 0,
+        "the priority reserve must bind"
+    );
+    assert_eq!(
+        broker.queued_jobs, 1,
+        "one job queues behind the admission limit"
+    );
+    assert_eq!(on.migrations.len(), broker.migrated_machines);
+
+    // The critical job recovers faster: higher effective-training-time
+    // ratio, and it gets machines through the broker instead of the free
+    // pool.
+    let critical_off = &off.jobs[0];
+    let critical_on = &on.jobs[0];
+    assert_eq!(critical_on.label, "prod-critical");
+    assert!(
+        critical_on.report.ettr.cumulative_ettr() > critical_off.report.ettr.cumulative_ettr(),
+        "broker must lift the critical job's ETTR: {} vs {}",
+        critical_on.report.ettr.cumulative_ettr(),
+        critical_off.report.ettr.cumulative_ettr()
+    );
+    // And the fleet as a whole spends measurably less time unproductive.
+    assert!(
+        on.fleet_unproductive_secs() < off.fleet_unproductive_secs() * 0.95,
+        "broker must cut fleet unproductive time by >5%: {} vs {}",
+        on.fleet_unproductive_secs(),
+        off.fleet_unproductive_secs()
+    );
+    // The interventions are visible in the rendered report.
+    let rendered = on.render();
+    assert!(rendered.contains("-- fleet broker"));
+    assert!(rendered.contains("migrated into"));
+    assert!(rendered.contains("waits for admission"));
+    assert!(rendered.contains("admitted from the queue"));
+}
+
+#[test]
+fn brokered_runs_stay_byte_identical_across_schedulers() {
+    // The heap-vs-naive oracle must hold with the broker in the loop too:
+    // broker decisions are a pure function of the (scheduler-independent)
+    // fleet event order.
+    let config = FleetConfig::starved_drill();
+    let heap = FleetRunner::new(config.clone(), 20250916 + 51);
+    let naive = heap.run_with(SchedulerKind::NaiveScan);
+    assert_eq!(
+        heap.run().render(),
+        naive.render(),
+        "starved drill with broker: heap scheduler diverged from the naive-scan oracle"
+    );
+}
+
+#[test]
+fn broker_is_invisible_on_a_non_starved_fleet() {
+    // The acceptance oracle: a comfortably provisioned fleet renders
+    // byte-identically with the broker on or off.
+    let calm = FleetConfig::small_drill().with_pool_override(64);
+    let off = FleetRunner::new(calm.clone(), 20250916 + 50).run();
+    let on = FleetRunner::new(
+        calm.with_broker(BrokerConfig {
+            admission_limit: None,
+            reserve_for_priority: 1,
+        }),
+        20250916 + 50,
+    )
+    .run();
+    assert_eq!(
+        off.pool_shortfall_events, 0,
+        "the calm fleet must not starve"
+    );
+    assert!(on.broker.as_ref().is_some_and(|b| !b.has_activity()));
+    assert_eq!(
+        off.render(),
+        on.render(),
+        "non-starved fleet: broker on/off must render byte-identically"
+    );
+}
+
+#[test]
+fn migrated_machines_keep_their_identity_and_history() {
+    let (_, on) = starved_pair();
+    let migration = on.migrations.first().expect("the starved drill migrates");
+    // The record names real jobs and a real machine; label indices line up
+    // with the fleet configuration.
+    assert!(migration.from_job < on.jobs.len());
+    assert!(migration.to_job < on.jobs.len());
+    assert_ne!(migration.from_job, migration.to_job);
+    // The machine id is the identity: the rendered broker line names the
+    // same machine that the migration log records, so its warehouse /
+    // ledger history (keyed by MachineId) survives the move by
+    // construction.
+    let line = format!(
+        "{} migrated into {} from {}",
+        migration.machine, on.jobs[migration.to_job].label, on.jobs[migration.from_job].label
+    );
+    assert!(
+        on.render().contains(&line),
+        "rendered report must carry the migration: {line}"
+    );
+}
+
 #[test]
 fn repeat_offender_ledger_is_built_from_cross_job_history() {
     let report = drill();
