@@ -15,6 +15,11 @@
 //! is, instead of a bare exit code. The 2× factor absorbs runner-hardware
 //! variance while still catching complexity regressions.
 //!
+//! Measured sections *absent from the budget file* do not fail the gate (a
+//! budget refresh is a deliberate, reviewed step) but are reported as a
+//! warning naming each unguarded section, so a newly added panel cannot
+//! silently dodge regression coverage.
+//!
 //! `--update` rewrites the budget file from the current measurement (totals
 //! and sections alike), for deliberate budget refreshes after intentional
 //! perf changes — never run it to paper over a regression.
@@ -141,12 +146,19 @@ fn main() -> ExitCode {
             }
         }
     }
-    for (name, _) in &measured_sections {
-        if !section_budgets.iter().any(|(n, _)| n == name) {
-            rows.push(format!(
-                "  {name:<24} (no budget recorded — run bench_guard --update to adopt it)"
-            ));
-        }
+    // Measured sections with no budget entry cannot regress-gate anything: a
+    // newly added panel would silently dodge the guard. Not a failure (the
+    // budget refresh is a deliberate, reviewed step) but a loud warning that
+    // names every unguarded section.
+    let unknown: Vec<&str> = measured_sections
+        .iter()
+        .map(|(name, _)| name.as_str())
+        .filter(|name| !section_budgets.iter().any(|(n, _)| n == name))
+        .collect();
+    for name in &unknown {
+        rows.push(format!(
+            "  {name:<24} (no budget recorded — run bench_guard --update to adopt it)"
+        ));
     }
 
     let mut report = String::new();
@@ -156,6 +168,15 @@ fn main() -> ExitCode {
     );
     for row in rows {
         let _ = writeln!(report, "{row}");
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "bench_guard: WARNING — {} measured section(s) have no budget entry and are NOT \
+             regression-guarded: {}. Run `bench_guard --update {results_path} {budget_path}` to \
+             adopt them deliberately.",
+            unknown.len(),
+            unknown.join(", ")
+        );
     }
     if failures.is_empty() {
         print!("{report}");

@@ -21,6 +21,14 @@
 //! per-section and total wall times, and `BENCH_fleet.json` with the
 //! `large_drill` scheduler-throughput measurement. `ci/bench_budget.json` +
 //! the `bench_guard` binary turn the former into a CI regression gate.
+//!
+//! Setting `BYTEROBUST_PERSIST_DIR=<dir>` additionally writes the incident
+//! warehouse's persistence artifacts there (`warehouse.json` plus the
+//! original and re-imported digests, asserted byte-identical in-panel) —
+//! the `bench-smoke` CI job sets it and uploads them alongside the bench
+//! JSON. The `persistence-roundtrip` CI job exercises the same round trip
+//! through `examples/fleet_drill.rs` (`BYTEROBUST_EXPORT_DIR`) and diffs
+//! the digests itself.
 
 use byterobust_bench::experiments;
 use byterobust_bench::perf::{timed, PerfRecorder};
@@ -40,56 +48,73 @@ fn main() {
     // The heavy simulations are independent (each owns its forked seed), so
     // they run concurrently with the cheap closed-form sections and with each
     // other; printing happens in document order below.
-    let (cheap, fig2, fleet_panel, broker_panel, production) = std::thread::scope(|scope| {
-        let spawn_or_inline = |f: fn() -> String| {
-            if serial {
+    let (cheap, fig2, fleet_panel, broker_panel, persistence, production) =
+        std::thread::scope(|scope| {
+            let spawn_or_inline = |f: fn() -> String| {
+                if serial {
+                    None
+                } else {
+                    Some(scope.spawn(move || timed(f)))
+                }
+            };
+            let fig2 = spawn_or_inline(experiments::fig2_loss_mfu);
+            let fleet_panel = spawn_or_inline(experiments::fleet_panel);
+            let broker_panel = spawn_or_inline(experiments::broker_panel);
+            let persistence = if serial {
                 None
             } else {
-                Some(scope.spawn(move || timed(f)))
-            }
-        };
-        let fig2 = spawn_or_inline(experiments::fig2_loss_mfu);
-        let fleet_panel = spawn_or_inline(experiments::fleet_panel);
-        let broker_panel = spawn_or_inline(experiments::broker_panel);
-        let production = if serial {
-            None
-        } else {
-            Some(scope.spawn(|| timed(experiments::production_reports)))
-        };
+                Some(scope.spawn(|| timed(experiments::persistence_panel)))
+            };
+            let production = if serial {
+                None
+            } else {
+                Some(scope.spawn(|| timed(experiments::production_reports)))
+            };
 
-        // Cheap, closed-form experiments on the main thread.
-        let cheap: Vec<(&str, (String, f64))> = vec![
-            ("table1_incidents", timed(experiments::table1_incidents)),
-            ("table3_detection", timed(experiments::table3_detection)),
-            ("table7_hot_update", timed(experiments::table7_hot_update)),
-            ("fig12_was", timed(experiments::fig12_was)),
-            ("table8_checkpoint", timed(experiments::table8_checkpoint)),
-            (
-                "replay_localization",
-                timed(experiments::replay_localization),
-            ),
-            (
-                "analyzer_aggregation",
-                timed(experiments::analyzer_aggregation),
-            ),
-        ];
+            // Cheap, closed-form experiments on the main thread.
+            let cheap: Vec<(&str, (String, f64))> = vec![
+                ("table1_incidents", timed(experiments::table1_incidents)),
+                ("table3_detection", timed(experiments::table3_detection)),
+                ("table7_hot_update", timed(experiments::table7_hot_update)),
+                ("fig12_was", timed(experiments::fig12_was)),
+                ("table8_checkpoint", timed(experiments::table8_checkpoint)),
+                (
+                    "replay_localization",
+                    timed(experiments::replay_localization),
+                ),
+                (
+                    "analyzer_aggregation",
+                    timed(experiments::analyzer_aggregation),
+                ),
+            ];
 
-        let join = |handle: Option<std::thread::ScopedJoinHandle<'_, (String, f64)>>,
-                    f: fn() -> String| {
-            match handle {
+            let join = |handle: Option<std::thread::ScopedJoinHandle<'_, (String, f64)>>,
+                        f: fn() -> String| {
+                match handle {
+                    Some(handle) => handle.join().expect("experiment thread panicked"),
+                    None => timed(f),
+                }
+            };
+            let fig2 = join(fig2, experiments::fig2_loss_mfu);
+            let fleet_panel = join(fleet_panel, experiments::fleet_panel);
+            let broker_panel = join(broker_panel, experiments::broker_panel);
+            let persistence = match persistence {
                 Some(handle) => handle.join().expect("experiment thread panicked"),
-                None => timed(f),
-            }
-        };
-        let fig2 = join(fig2, experiments::fig2_loss_mfu);
-        let fleet_panel = join(fleet_panel, experiments::fleet_panel);
-        let broker_panel = join(broker_panel, experiments::broker_panel);
-        let production = match production {
-            Some(handle) => handle.join().expect("experiment thread panicked"),
-            None => timed(experiments::production_reports),
-        };
-        (cheap, fig2, fleet_panel, broker_panel, production)
-    });
+                None => timed(experiments::persistence_panel),
+            };
+            let production = match production {
+                Some(handle) => handle.join().expect("experiment thread panicked"),
+                None => timed(experiments::production_reports),
+            };
+            (
+                cheap,
+                fig2,
+                fleet_panel,
+                broker_panel,
+                persistence,
+                production,
+            )
+        });
 
     // The scheduler-throughput measurement runs alone on the main thread,
     // after every worker has joined, so the heap-vs-naive comparison is not
@@ -113,6 +138,18 @@ fn main() {
     // non-starved byte-identity oracle (asserted inside the panel).
     println!("{}", broker_panel.0);
     perf.record("broker_panel", broker_panel.1);
+
+    // Warehouse persistence: export→import→render and disk-spill round
+    // trips (oracles asserted inside the panel). The deterministic panel
+    // goes to stdout; the export/import/cold-query wall clocks go to the
+    // JSON only, as their own guarded sections.
+    let ((persistence_text, persistence_stats), persistence_secs) = persistence;
+    println!("{persistence_text}");
+    perf.record("persistence_panel", persistence_secs);
+    perf.record("persistence_export", persistence_stats.export_secs);
+    perf.record("persistence_import", persistence_stats.import_secs);
+    perf.record("persistence_cold_query", persistence_stats.cold_query_secs);
+    perf.record("persistence_hot_query", persistence_stats.hot_query_secs);
 
     // Fleet scale-out: the large drill under the heap scheduler. The panel is
     // deterministic; the measured throughput goes to stderr and the JSON.

@@ -13,7 +13,10 @@ use byterobust_cluster::{
     FaultCategory, FaultInjector, FaultInjectorConfig, FaultKind, MachineId, RootCause,
 };
 use byterobust_core::{JobConfig, JobLifecycle, JobReport};
-use byterobust_fleet::{BrokerConfig, FleetConfig, FleetRunner, IncidentWarehouse, SchedulerKind};
+use byterobust_fleet::{
+    BrokerConfig, FleetConfig, FleetRunner, IncidentWarehouse, SchedulerKind, WarehouseStorage,
+};
+use byterobust_incident::IncidentQuery;
 use byterobust_parallelism::ParallelismConfig;
 use byterobust_recovery::{
     binomial_quantile, DualPhaseReplay, ReplayConfig, RestartCostModel, RestartStrategy,
@@ -820,6 +823,172 @@ pub fn broker_panel() -> String {
         broker.reserve_held_machines,
         broker.queued_jobs,
         broker.residual_shortfall_machines,
+    )
+}
+
+/// Wall-clock and size measurements behind the persistence sections of
+/// `BENCH_reproduce.json`. Never printed to stdout (timings differ run to
+/// run; stdout must stay byte-identical).
+#[derive(Debug, Clone, Copy)]
+pub struct PersistenceStats {
+    /// Bytes of the warehouse JSON export.
+    pub export_bytes: usize,
+    /// Wall seconds to export the warehouse to JSON.
+    pub export_secs: f64,
+    /// Wall seconds to parse + decode + re-index the export.
+    pub import_secs: f64,
+    /// Wall seconds for a full-warehouse query with every shard spilled
+    /// (includes faulting all segments back in).
+    pub cold_query_secs: f64,
+    /// Wall seconds for the same query once everything is resident again.
+    pub hot_query_secs: f64,
+}
+
+/// Persistence panel: the incident warehouse's export→import→render round
+/// trip and the disk-spill path, on the small fleet drill.
+///
+/// Asserts three byte-identity oracles inline: (1) the re-imported
+/// warehouse renders the same full-content digest as the original, (2) a
+/// `JobReport` survives `export_json` → `import_json` exactly, and (3) a
+/// fully spilled warehouse answers queries identically to the in-memory one
+/// and to its own `linear_scan`. The timings go to `BENCH_reproduce.json`
+/// (`persistence_*` sections, guarded by `ci/bench_budget.json`); stdout
+/// carries only deterministic sizes and counts.
+///
+/// When `BYTEROBUST_PERSIST_DIR` is set, the exported warehouse JSON and the
+/// two digests (original and re-imported) are also written there — the
+/// `persistence-roundtrip` CI job diffs and uploads them.
+pub fn persistence_panel() -> (String, PersistenceStats) {
+    let runner = FleetRunner::new(FleetConfig::small_drill(), SEED + 60);
+    let report = runner.run();
+    let warehouse = &report.warehouse;
+
+    // Export → import → render, timed; the digest pins full-content
+    // identity, not just counts.
+    let (exported, export_secs) = timed(|| warehouse.export_json());
+    let (imported, import_secs) =
+        timed(|| IncidentWarehouse::import_json(&exported).expect("own export must re-import"));
+    let digest = warehouse.render_digest();
+    let reimported_digest = imported.render_digest();
+    assert_eq!(
+        digest, reimported_digest,
+        "export→import→render must reproduce the warehouse byte-for-byte"
+    );
+
+    // A full job report round-trips exactly, aggregations included.
+    let job = &report.jobs[0];
+    let job_json = job.report.export_json();
+    let job_back = JobReport::import_json(&job_json).expect("job report must re-import");
+    assert_eq!(
+        job_back, job.report,
+        "JobReport export→import must be exact"
+    );
+
+    // Cold-vs-hot query latency: rebuild the same warehouse with storage
+    // attached, flush every shard to segment files, then time one
+    // full-warehouse query twice — the first faults every segment back in,
+    // the second runs hot.
+    let persist_dir = std::env::var_os("BYTEROBUST_PERSIST_DIR").map(std::path::PathBuf::from);
+    let spill_dir = persist_dir
+        .clone()
+        .unwrap_or_else(std::env::temp_dir)
+        .join(format!("byterobust-persist-spill-{}", std::process::id()));
+    let mut spilled = IncidentWarehouse::with_storage(
+        warehouse.bucket_width(),
+        WarehouseStorage::new(usize::MAX, &spill_dir),
+    );
+    for fleet_job in &report.jobs {
+        spilled.ingest_store(&fleet_job.label, &fleet_job.report.incident_store);
+    }
+    let flushed_shards = spilled.flush_to_disk();
+    let everything = IncidentQuery::any();
+    let (cold_hits, cold_query_secs) = timed(|| spilled.query(&everything));
+    let cold_count = cold_hits.len();
+    drop(cold_hits);
+    let (hot_hits, hot_query_secs) = timed(|| spilled.query(&everything));
+    let warm_ids: Vec<(String, u64)> = hot_hits
+        .iter()
+        .map(|hit| (hit.job.to_string(), hit.dossier.seq))
+        .collect();
+    drop(hot_hits);
+    let memory_ids: Vec<(String, u64)> = warehouse
+        .query(&everything)
+        .iter()
+        .map(|hit| (hit.job.to_string(), hit.dossier.seq))
+        .collect();
+    let scan_ids: Vec<(String, u64)> = spilled
+        .linear_scan(&everything)
+        .iter()
+        .map(|hit| (hit.job.to_string(), hit.dossier.seq))
+        .collect();
+    assert_eq!(cold_count, warm_ids.len(), "cold and hot hit counts agree");
+    assert_eq!(warm_ids, memory_ids, "spill on/off queries must agree");
+    assert_eq!(
+        warm_ids, scan_ids,
+        "spilled query must equal its linear scan"
+    );
+    assert_eq!(spilled.render_digest(), digest, "spilled digest must agree");
+    let spill_segments = spilled.spill_stats().segments_written;
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
+    // Artifacts for the persistence-roundtrip CI job, behind the flag.
+    if let Some(dir) = &persist_dir {
+        std::fs::create_dir_all(dir).expect("create BYTEROBUST_PERSIST_DIR");
+        std::fs::write(dir.join("warehouse.json"), &exported).expect("write warehouse.json");
+        std::fs::write(dir.join("warehouse_digest.txt"), &digest).expect("write digest");
+        std::fs::write(
+            dir.join("warehouse_digest_reimported.txt"),
+            &reimported_digest,
+        )
+        .expect("write reimported digest");
+    }
+
+    let mut table = Table::new(
+        "Persistence panel: incident warehouse export / import / disk-spill",
+        &["Quantity", "Value"],
+    );
+    table.row(&[
+        "Warehouse incidents".to_string(),
+        warehouse.len().to_string(),
+    ]);
+    table.row(&[
+        "Warehouse shards".to_string(),
+        warehouse.jobs().len().to_string(),
+    ]);
+    table.row(&[
+        "Export size (bytes)".to_string(),
+        exported.len().to_string(),
+    ]);
+    table.row(&[
+        "Job-report export size (bytes)".to_string(),
+        job_json.len().to_string(),
+    ]);
+    table.row(&[
+        "Spill segments written".to_string(),
+        spill_segments.to_string(),
+    ]);
+    table.row(&[
+        "Shards flushed to disk".to_string(),
+        flushed_shards.to_string(),
+    ]);
+    table.row(&[
+        "Cold query hits (== hot)".to_string(),
+        cold_count.to_string(),
+    ]);
+    let stats = PersistenceStats {
+        export_bytes: exported.len(),
+        export_secs,
+        import_secs,
+        cold_query_secs,
+        hot_query_secs,
+    };
+    (
+        format!(
+            "{}\nRound-trip oracles: export→import→render digest byte-identical; JobReport \
+             export→import exact; spilled queries equal in-memory and linear scan (all asserted)\n",
+            table.render()
+        ),
+        stats,
     )
 }
 

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use byterobust_incident::codec::{CodecError, Decode, Encode, JsonValue};
 use byterobust_sim::{SimDuration, SimTime};
 
 /// One recorded segment of job time.
@@ -18,9 +19,52 @@ struct Segment {
 }
 
 /// Tracks productive vs. unproductive time and derives ETTR curves.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EttrTracker {
     segments: Vec<Segment>,
+}
+
+impl Encode for EttrTracker {
+    /// Segments are contiguous by construction (each starts where the
+    /// previous one ended), so the wire form carries only `(duration,
+    /// productive)` pairs; start times are rederived on decode.
+    fn encode(&self) -> JsonValue {
+        JsonValue::Array(
+            self.segments
+                .iter()
+                .map(|segment| {
+                    JsonValue::object(vec![
+                        ("duration", segment.duration.encode()),
+                        ("productive", segment.productive.encode()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Decode for EttrTracker {
+    fn decode(value: &JsonValue) -> Result<Self, CodecError> {
+        #[derive(Debug)]
+        struct WireSegment {
+            duration: SimDuration,
+            productive: bool,
+        }
+        impl Decode for WireSegment {
+            fn decode(value: &JsonValue) -> Result<Self, CodecError> {
+                Ok(WireSegment {
+                    duration: value.field("duration")?,
+                    productive: value.field("productive")?,
+                })
+            }
+        }
+        let wire: Vec<WireSegment> = Vec::decode(value)?;
+        let mut tracker = EttrTracker::new();
+        for segment in wire {
+            tracker.push(segment.duration, segment.productive);
+        }
+        Ok(tracker)
+    }
 }
 
 impl EttrTracker {

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use byterobust_cluster::{FaultCategory, FaultKind, RootCause};
+use byterobust_incident::codec::{check_format, CodecError, Decode, Encode, JsonValue};
 use byterobust_incident::IncidentStore;
 use byterobust_recovery::FailoverCost;
 use byterobust_sim::{SimDuration, SimTime};
@@ -53,7 +54,7 @@ pub struct SeriesPoint {
 }
 
 /// The full report of one simulated job run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobReport {
     /// Human-readable name of the job.
     pub job_name: String,
@@ -147,6 +148,106 @@ impl JobReport {
     /// computed as an incident-store query.
     pub fn eviction_stats(&self) -> (usize, usize) {
         self.incident_store.eviction_stats()
+    }
+
+    /// Exports the full report — ETTR segments, MFU/loss series, incident
+    /// records, and the complete incident store — as one self-describing
+    /// JSON document via the in-repo codec. Deterministic: equal reports
+    /// export byte-identical text, and
+    /// `JobReport::import_json(r.export_json())` reproduces `r` exactly
+    /// (pinned by the persistence tests and the `persistence-roundtrip` CI
+    /// job).
+    pub fn export_json(&self) -> String {
+        JsonValue::object(vec![
+            ("format", JsonValue::Str(JOB_REPORT_FORMAT.to_string())),
+            (
+                "version",
+                JsonValue::U64(byterobust_incident::codec::FORMAT_VERSION),
+            ),
+            ("job_name", self.job_name.encode()),
+            ("ettr", self.ettr.encode()),
+            ("mfu_series", self.mfu_series.encode()),
+            ("loss_series", self.loss_series.encode()),
+            ("incidents", self.incidents.encode()),
+            ("incident_store", self.incident_store.encode()),
+            ("final_step", self.final_step.encode()),
+            (
+                "code_versions_deployed",
+                self.code_versions_deployed.encode(),
+            ),
+        ])
+        .render()
+    }
+
+    /// Imports a report previously written by [`JobReport::export_json`].
+    /// Corruption and shape mismatches come back as a positioned
+    /// [`CodecError`], never a panic.
+    pub fn import_json(text: &str) -> Result<JobReport, CodecError> {
+        let document = JsonValue::parse(text)?;
+        check_format(&document, JOB_REPORT_FORMAT)?;
+        Ok(JobReport {
+            job_name: document.field("job_name")?,
+            ettr: document.field("ettr")?,
+            mfu_series: document.field("mfu_series")?,
+            loss_series: document.field("loss_series")?,
+            incidents: document.field("incidents")?,
+            incident_store: document.field("incident_store")?,
+            final_step: document.field("final_step")?,
+            code_versions_deployed: document.field("code_versions_deployed")?,
+        })
+    }
+}
+
+/// Format header written by [`JobReport::export_json`].
+pub const JOB_REPORT_FORMAT: &str = "byterobust-job-report";
+
+impl Encode for SeriesPoint {
+    fn encode(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("at", self.at.encode()),
+            ("step", self.step.encode()),
+            ("value", self.value.encode()),
+        ])
+    }
+}
+
+impl Decode for SeriesPoint {
+    fn decode(value: &JsonValue) -> Result<Self, CodecError> {
+        Ok(SeriesPoint {
+            at: value.field("at")?,
+            step: value.field("step")?,
+            value: value.field("value")?,
+        })
+    }
+}
+
+impl Encode for IncidentRecord {
+    fn encode(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("at", self.at.encode()),
+            ("kind", self.kind.encode()),
+            ("category", self.category.encode()),
+            ("root_cause", self.root_cause.encode()),
+            ("mechanism", self.mechanism.encode()),
+            ("cost", self.cost.encode()),
+            ("evicted_count", self.evicted_count.encode()),
+            ("over_evicted", self.over_evicted.encode()),
+        ])
+    }
+}
+
+impl Decode for IncidentRecord {
+    fn decode(value: &JsonValue) -> Result<Self, CodecError> {
+        Ok(IncidentRecord {
+            at: value.field("at")?,
+            kind: value.field("kind")?,
+            category: value.field("category")?,
+            root_cause: value.field("root_cause")?,
+            mechanism: value.field("mechanism")?,
+            cost: value.field("cost")?,
+            evicted_count: value.field("evicted_count")?,
+            over_evicted: value.field("over_evicted")?,
+        })
     }
 }
 
@@ -298,5 +399,27 @@ mod tests {
         let (total, over) = r.eviction_stats();
         assert_eq!(total, 4);
         assert_eq!(over, 0);
+    }
+
+    #[test]
+    fn export_import_round_trips_the_full_report() {
+        let mut r = report();
+        r.ettr.record_productive(SimDuration::from_hours(9));
+        r.ettr.record_unproductive(SimDuration::from_mins(30));
+        r.ettr.record_productive(SimDuration::from_hours(2));
+        let exported = r.export_json();
+        let imported = JobReport::import_json(&exported).expect("import succeeds");
+        assert_eq!(imported, r);
+        // The export is a fixed point, and every derived aggregation agrees.
+        assert_eq!(imported.export_json(), exported);
+        assert_eq!(imported.ettr.cumulative_ettr(), r.ettr.cumulative_ettr());
+        assert_eq!(imported.resolution_counts(), r.resolution_counts());
+        assert_eq!(imported.eviction_stats(), r.eviction_stats());
+
+        // Corruption fails with an error, not a panic.
+        assert!(JobReport::import_json(&exported[..exported.len() / 2]).is_err());
+        assert!(JobReport::import_json("{}").is_err());
+        let foreign = exported.replace(JOB_REPORT_FORMAT, "not-a-job-report");
+        assert!(JobReport::import_json(&foreign).is_err());
     }
 }

@@ -71,7 +71,7 @@ pub use ledger::RepeatOffenderLedger;
 pub use report::{DrainSummary, FleetJobReport, FleetReport};
 pub use runner::{FleetConfig, FleetJob, FleetRunner};
 pub use scheduler::{EventScheduler, SchedulerKind};
-pub use warehouse::{IncidentWarehouse, WarehouseHit};
+pub use warehouse::{IncidentWarehouse, SpillStats, WarehouseHit, WarehouseStorage};
 
 /// Convenience prelude for downstream crates.
 pub mod prelude {
@@ -81,5 +81,5 @@ pub mod prelude {
     pub use crate::report::{DrainSummary, FleetJobReport, FleetReport};
     pub use crate::runner::{FleetConfig, FleetJob, FleetRunner};
     pub use crate::scheduler::{EventScheduler, SchedulerKind};
-    pub use crate::warehouse::{IncidentWarehouse, WarehouseHit};
+    pub use crate::warehouse::{IncidentWarehouse, SpillStats, WarehouseHit, WarehouseStorage};
 }

@@ -28,7 +28,7 @@ use crate::drainer::BacklogDrainer;
 use crate::ledger::RepeatOffenderLedger;
 use crate::report::{DrainSummary, FleetJobReport, FleetReport};
 use crate::scheduler::{EventScheduler, SchedulerKind};
-use crate::warehouse::IncidentWarehouse;
+use crate::warehouse::{IncidentWarehouse, WarehouseStorage};
 
 /// One job in the fleet: a label (unique within the fleet) plus its
 /// configuration and broker priority.
@@ -75,6 +75,11 @@ pub struct FleetConfig {
     /// Fleet resource broker. `None` runs the un-brokered baseline: the pool
     /// degrades to the slow reschedule path when it runs dry.
     pub broker: Option<BrokerConfig>,
+    /// Warehouse disk-spill policy. `None` keeps every shard in memory;
+    /// `Some` spills cold shards to segment files under the given run
+    /// directory. Query results and the rendered report are byte-identical
+    /// either way (pinned by the spill oracles).
+    pub warehouse_storage: Option<WarehouseStorage>,
 }
 
 impl FleetConfig {
@@ -87,6 +92,7 @@ impl FleetConfig {
             bucket_width: SimDuration::from_hours(1),
             pool_override: None,
             broker: None,
+            warehouse_storage: None,
         }
     }
 
@@ -106,6 +112,14 @@ impl FleetConfig {
     /// Overrides the shared pool's target size.
     pub fn with_pool_override(mut self, target: usize) -> Self {
         self.pool_override = Some(target);
+        self
+    }
+
+    /// Attaches a warehouse disk-spill policy: cold incident shards are
+    /// written to segment files under `storage.spill_dir` once the resident
+    /// dossier count exceeds `storage.budget`.
+    pub fn with_warehouse_storage(mut self, storage: WarehouseStorage) -> Self {
+        self.warehouse_storage = Some(storage);
         self
     }
 
@@ -321,7 +335,12 @@ impl FleetRunner {
         }
         let mut scheduler = EventScheduler::new(scheduler_kind, &executions);
 
-        let mut warehouse = IncidentWarehouse::new(self.config.bucket_width);
+        let mut warehouse = match &self.config.warehouse_storage {
+            Some(storage) => {
+                IncidentWarehouse::with_storage(self.config.bucket_width, storage.clone())
+            }
+            None => IncidentWarehouse::new(self.config.bucket_width),
+        };
         let mut drainer = BacklogDrainer::new();
         let mut ledger = RepeatOffenderLedger::new(self.config.repeat_offender_threshold);
         let mut machines_returned = 0usize;

@@ -1,5 +1,5 @@
 //! The cross-job incident warehouse: per-job store shards under secondary
-//! indexes.
+//! indexes, with optional disk-spill of cold shards.
 //!
 //! A fleet run produces one [`IncidentStore`] per job. The warehouse merges
 //! them without flattening: each store stays intact as a *shard* (so per-job
@@ -22,13 +22,88 @@
 //! times (a job's incidents close in time order — asserted on insert), and a
 //! fleet run inserts across shards in non-decreasing start-time order, so
 //! the canonical insertion point is almost always the tail.
+//!
+//! # Disk spill
+//!
+//! With a [`WarehouseStorage`] attached, the warehouse keeps at most
+//! `budget` dossiers resident: when an insert pushes the resident total
+//! over budget, the coldest shards (least recently inserted into or faulted
+//! in) are written to self-describing JSON segment files under `spill_dir`
+//! (`segment-NNNN.json`, via the in-repo codec in
+//! `byterobust_incident::codec`) and dropped from memory. The four secondary
+//! indexes stay hot — every [`DossierKey`] carries the start time, shard,
+//! and seq a query needs to plan — and a query that resolves a key into a
+//! spilled shard *faults the whole shard back in* transparently (`&self`,
+//! via a per-shard `OnceLock`, so reports stay `Send + Sync`). Spill is
+//! invisible to results by
+//! construction: the codec round-trip is exact, so queries and rendered
+//! reports are byte-identical with spill on or off (pinned by the oracle
+//! tests and the `persistence-roundtrip` CI job).
+//!
+//! The budget is enforced at insert time; the shard currently being
+//! inserted into is spilled only as a last resort, so a budget at least as
+//! large as the biggest shard keeps ingestion out of write-through (a
+//! smaller budget still works, it just re-encodes that shard per insert).
+//! Fault-ins on the read path may temporarily raise residency above budget
+//! (reads never evict — they hold `&self`); the next insert re-spills down
+//! to budget.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use byterobust_cluster::{FaultCategory, FaultKind, MachineId};
-use byterobust_incident::{IncidentDossier, IncidentQuery, IncidentStore, Severity};
+use byterobust_incident::codec::{check_format, CodecError, Encode, JsonValue, FORMAT_VERSION};
+use byterobust_incident::{IncidentDossier, IncidentQuery, IncidentStore, Postmortem, Severity};
 use byterobust_sim::{SimDuration, SimTime};
+
+/// Format header of one spilled shard segment file.
+pub const SEGMENT_FORMAT: &str = "byterobust-warehouse-segment";
+
+/// Format header of a whole-warehouse export
+/// ([`IncidentWarehouse::export_json`]).
+pub const WAREHOUSE_FORMAT: &str = "byterobust-warehouse";
+
+/// Disk-spill policy for the warehouse: how many dossiers may stay resident,
+/// and where cold shards are written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarehouseStorage {
+    /// Maximum dossiers kept resident across all shards. Inserting past the
+    /// budget spills the coldest shards to `spill_dir`.
+    pub budget: usize,
+    /// Directory for segment files (created on first spill).
+    pub spill_dir: PathBuf,
+}
+
+impl WarehouseStorage {
+    /// A storage policy.
+    pub fn new(budget: usize, spill_dir: impl Into<PathBuf>) -> Self {
+        WarehouseStorage {
+            budget,
+            spill_dir: spill_dir.into(),
+        }
+    }
+}
+
+/// Counters describing what the spill layer has done. Observability only —
+/// never rendered into the deterministic report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillStats {
+    /// Segment files written (rewrites of a dirty shard count again).
+    pub segments_written: usize,
+    /// Spilled shards loaded back into memory — by queries, or by an
+    /// insert targeting a shard that was spilled in the meantime.
+    pub fault_ins: usize,
+    /// Dossiers currently resident.
+    pub resident_dossiers: usize,
+    /// Dossiers currently only on disk.
+    pub spilled_dossiers: usize,
+    /// Shards currently spilled.
+    pub spilled_shards: usize,
+}
 
 /// Reference to one dossier: shard index plus the dossier's seq within it
 /// (resolved by the store's binary-searched `get`), plus the dossier's start
@@ -41,9 +116,29 @@ struct DossierKey {
     seq: u64,
 }
 
+/// One per-job shard. The label, cached length, and recency stamp always
+/// stay in memory; the store itself is either resident (in the `OnceLock`)
+/// or spilled to `segment` on disk — or both, when a spilled shard was
+/// faulted back in and not modified since (`segment` then names a clean
+/// on-disk copy that can be dropped again without rewriting).
+#[derive(Debug, Clone)]
+struct Shard {
+    label: String,
+    /// Dossier count, maintained on insert so `len()` and spill accounting
+    /// never touch (or fault in) the store.
+    len: usize,
+    /// Monotone recency stamp, bumped on insert; the smallest stamp is the
+    /// coldest shard and spills first. (Fault-ins hold `&self` and do not
+    /// refresh it: recency means insert recency.)
+    last_touch: u64,
+    resident: OnceLock<IncidentStore>,
+    /// Path of the shard's segment file, when the on-disk copy is current.
+    segment: Option<PathBuf>,
+}
+
 /// The canonical comparison tuple for a key: (start time, job label, seq).
-fn canonical(shards: &[(String, IncidentStore)], key: DossierKey) -> (SimTime, &str, u64) {
-    (key.at, shards[key.shard].0.as_str(), key.seq)
+fn canonical(shards: &[Shard], key: DossierKey) -> (SimTime, &str, u64) {
+    (key.at, shards[key.shard].label.as_str(), key.seq)
 }
 
 /// One query result: the job the incident belongs to, and its dossier.
@@ -64,34 +159,96 @@ impl WarehouseHit<'_> {
 }
 
 /// The indexed, sharded fleet incident warehouse.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct IncidentWarehouse {
     bucket_width: SimDuration,
-    shards: Vec<(String, IncidentStore)>,
+    storage: Option<WarehouseStorage>,
+    shards: Vec<Shard>,
     by_machine: BTreeMap<MachineId, Vec<DossierKey>>,
     by_severity: BTreeMap<Severity, Vec<DossierKey>>,
     by_category: BTreeMap<FaultCategory, Vec<DossierKey>>,
     by_bucket: BTreeMap<u64, Vec<DossierKey>>,
     /// Reused per-insert buffer for the implicated-machine set.
     machine_scratch: Vec<MachineId>,
+    /// Recency clock for the spill policy.
+    touch_clock: u64,
+    /// Segment files written so far.
+    segments_written: usize,
+    /// Fault-ins performed by the read path (atomic: reads hold `&self`,
+    /// and reports are shared across harness threads).
+    fault_ins: AtomicUsize,
+}
+
+impl Clone for IncidentWarehouse {
+    /// A clone is a fully in-memory snapshot: every spilled shard is faulted
+    /// resident first, and the clone carries neither segment paths nor a
+    /// storage policy. Sharing either would be corruption waiting to happen —
+    /// two warehouses tracking clean/dirty state over the same
+    /// `segment-NNNN.json` files would overwrite each other's segments.
+    fn clone(&self) -> Self {
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                let resident = OnceLock::new();
+                resident
+                    .set(self.store_for(index).clone())
+                    .expect("fresh cell is empty");
+                Shard {
+                    label: shard.label.clone(),
+                    len: shard.len,
+                    last_touch: shard.last_touch,
+                    resident,
+                    segment: None,
+                }
+            })
+            .collect();
+        IncidentWarehouse {
+            bucket_width: self.bucket_width,
+            storage: None,
+            shards,
+            by_machine: self.by_machine.clone(),
+            by_severity: self.by_severity.clone(),
+            by_category: self.by_category.clone(),
+            by_bucket: self.by_bucket.clone(),
+            machine_scratch: Vec::new(),
+            touch_clock: self.touch_clock,
+            segments_written: self.segments_written,
+            fault_ins: AtomicUsize::new(self.fault_ins.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl IncidentWarehouse {
     /// An empty warehouse whose time index buckets incident start times at
-    /// `bucket_width` granularity.
+    /// `bucket_width` granularity. Fully in-memory: shards never spill.
     pub fn new(bucket_width: SimDuration) -> Self {
+        Self::build(bucket_width, None)
+    }
+
+    /// An empty warehouse that spills cold shards to disk per `storage`.
+    pub fn with_storage(bucket_width: SimDuration, storage: WarehouseStorage) -> Self {
+        Self::build(bucket_width, Some(storage))
+    }
+
+    fn build(bucket_width: SimDuration, storage: Option<WarehouseStorage>) -> Self {
         assert!(
             !bucket_width.is_zero(),
             "time-bucket width must be positive"
         );
         IncidentWarehouse {
             bucket_width,
+            storage,
             shards: Vec::new(),
             by_machine: BTreeMap::new(),
             by_severity: BTreeMap::new(),
             by_category: BTreeMap::new(),
             by_bucket: BTreeMap::new(),
             machine_scratch: Vec::new(),
+            touch_clock: 0,
+            segments_written: 0,
+            fault_ins: AtomicUsize::new(0),
         }
     }
 
@@ -100,18 +257,173 @@ impl IncidentWarehouse {
         self.bucket_width
     }
 
+    /// The disk-spill policy, if one is attached.
+    pub fn storage(&self) -> Option<&WarehouseStorage> {
+        self.storage.as_ref()
+    }
+
+    /// What the spill layer has done so far.
+    pub fn spill_stats(&self) -> SpillStats {
+        let mut stats = SpillStats {
+            segments_written: self.segments_written,
+            fault_ins: self.fault_ins.load(Ordering::Relaxed),
+            ..SpillStats::default()
+        };
+        for shard in &self.shards {
+            if shard.resident.get().is_some() {
+                stats.resident_dossiers += shard.len;
+            } else {
+                stats.spilled_dossiers += shard.len;
+                stats.spilled_shards += 1;
+            }
+        }
+        stats
+    }
+
     fn bucket_of(&self, at: SimTime) -> u64 {
         (at.as_secs_f64() / self.bucket_width.as_secs_f64()).floor() as u64
     }
 
     fn shard_index(&mut self, job: &str) -> usize {
-        match self.shards.iter().position(|(label, _)| label == job) {
+        match self.shards.iter().position(|shard| shard.label == job) {
             Some(index) => index,
             None => {
-                self.shards.push((job.to_string(), IncidentStore::new()));
+                let resident = OnceLock::new();
+                resident
+                    .set(IncidentStore::new())
+                    .expect("fresh cell is empty");
+                self.shards.push(Shard {
+                    label: job.to_string(),
+                    len: 0,
+                    last_touch: self.touch_clock,
+                    resident,
+                    segment: None,
+                });
                 self.shards.len() - 1
             }
         }
+    }
+
+    /// The path a shard's segment file lives at.
+    fn segment_path(dir: &Path, shard_index: usize) -> PathBuf {
+        dir.join(format!("segment-{shard_index:04}.json"))
+    }
+
+    /// The store of one shard, faulting it in from its segment file if it is
+    /// currently spilled. Read path: holds `&self`, never evicts.
+    fn store_for(&self, index: usize) -> &IncidentStore {
+        let shard = &self.shards[index];
+        if shard.resident.get().is_none() {
+            self.fault_ins.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.resident.get_or_init(|| {
+            let path = shard
+                .segment
+                .as_ref()
+                .expect("a non-resident shard has a segment file");
+            load_segment(path, &shard.label, shard.len).unwrap_or_else(|err| {
+                panic!(
+                    "warehouse segment {} for shard `{}` is unreadable: {err}",
+                    path.display(),
+                    shard.label
+                )
+            })
+        })
+    }
+
+    /// Mutable access to one shard's store (faulting it in first if needed).
+    /// The on-disk copy, if any, is invalidated: the caller is about to
+    /// change the store.
+    fn store_mut_for(&mut self, index: usize) -> &mut IncidentStore {
+        self.store_for(index);
+        let shard = &mut self.shards[index];
+        shard.segment = None;
+        shard
+            .resident
+            .get_mut()
+            .expect("store_for made the shard resident")
+    }
+
+    fn touch(&mut self, index: usize) {
+        self.touch_clock += 1;
+        self.shards[index].last_touch = self.touch_clock;
+    }
+
+    /// Spills the coldest resident shards until the resident dossier total
+    /// fits the budget again. No-op without attached storage.
+    fn enforce_budget(&mut self) {
+        let Some(storage) = self.storage.clone() else {
+            return;
+        };
+        let resident_total = |shards: &[Shard]| -> usize {
+            shards
+                .iter()
+                .filter(|shard| shard.resident.get().is_some())
+                .map(|shard| shard.len)
+                .sum()
+        };
+        while resident_total(&self.shards) > storage.budget {
+            // Coldest resident, non-empty shard first (empty shards carry no
+            // dossiers, so spilling them would not reduce residency) — but
+            // the shard that was just inserted into (the one carrying the
+            // current clock stamp) only as a last resort. Evicting the
+            // insert target eagerly would turn a hot shard bigger than the
+            // budget into write-through: every insert re-decoding and
+            // re-encoding the whole segment.
+            let candidate = |exclude_current: bool| {
+                self.shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, shard)| shard.resident.get().is_some() && shard.len > 0)
+                    .filter(|(_, shard)| !exclude_current || shard.last_touch != self.touch_clock)
+                    .min_by_key(|(_, shard)| shard.last_touch)
+                    .map(|(index, _)| index)
+            };
+            let Some(victim) = candidate(true).or_else(|| candidate(false)) else {
+                return;
+            };
+            self.spill_shard(victim, &storage.spill_dir);
+        }
+    }
+
+    /// Writes one shard's segment file (unless a clean on-disk copy already
+    /// exists) and drops the resident store.
+    fn spill_shard(&mut self, index: usize, dir: &Path) {
+        if self.shards[index].segment.is_none() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|err| panic!("cannot create spill dir {}: {err}", dir.display()));
+            let path = Self::segment_path(dir, index);
+            let shard = &self.shards[index];
+            let store = shard
+                .resident
+                .get()
+                .expect("only resident shards are spilled");
+            let document = render_segment(&shard.label, store);
+            std::fs::write(&path, document)
+                .unwrap_or_else(|err| panic!("cannot write segment {}: {err}", path.display()));
+            self.segments_written += 1;
+            self.shards[index].segment = Some(path);
+        }
+        self.shards[index].resident.take();
+    }
+
+    /// Spills every non-empty resident shard to its segment file regardless
+    /// of budget, e.g. to persist a finished run's warehouse into its run
+    /// directory, or to set up a deliberately cold warehouse for latency
+    /// measurements. No-op without attached storage. Returns the number of
+    /// shards dropped from memory.
+    pub fn flush_to_disk(&mut self) -> usize {
+        let Some(storage) = self.storage.clone() else {
+            return 0;
+        };
+        let mut flushed = 0;
+        for index in 0..self.shards.len() {
+            if self.shards[index].resident.get().is_some() && self.shards[index].len > 0 {
+                self.spill_shard(index, &storage.spill_dir);
+                flushed += 1;
+            }
+        }
+        flushed
     }
 
     /// Inserts one closed incident into the named job's shard and every
@@ -121,8 +433,7 @@ impl IncidentWarehouse {
     pub fn insert(&mut self, job: &str, dossier: IncidentDossier) {
         let shard = self.shard_index(job);
         debug_assert!(
-            self.shards[shard]
-                .1
+            self.store_for(shard)
                 .all()
                 .last()
                 .is_none_or(|prev| prev.seq < dossier.seq && prev.at <= dossier.at),
@@ -160,7 +471,10 @@ impl IncidentWarehouse {
         );
         post(self.by_category.entry(dossier.category).or_default());
         post(self.by_bucket.entry(bucket).or_default());
-        self.shards[shard].1.insert(dossier);
+        self.store_mut_for(shard).insert(dossier);
+        self.shards[shard].len += 1;
+        self.touch(shard);
+        self.enforce_budget();
     }
 
     /// Ingests a whole per-job store (e.g. from a finished [`JobReport`]
@@ -171,28 +485,31 @@ impl IncidentWarehouse {
         }
     }
 
-    /// The per-job shard for a label, if that job has any incidents.
+    /// The per-job shard for a label, if that job has any incidents. Faults
+    /// the shard in if it is spilled.
     pub fn shard(&self, job: &str) -> Option<&IncidentStore> {
         self.shards
             .iter()
-            .find(|(label, _)| label == job)
-            .map(|(_, store)| store)
+            .position(|shard| shard.label == job)
+            .map(|index| self.store_for(index))
     }
 
-    /// Job labels with at least one incident, sorted.
+    /// Job labels with at least one incident, sorted. Never faults anything
+    /// in: labels live outside the stores.
     pub fn jobs(&self) -> Vec<&str> {
         let mut labels: Vec<&str> = self
             .shards
             .iter()
-            .map(|(label, _)| label.as_str())
+            .map(|shard| shard.label.as_str())
             .collect();
         labels.sort_unstable();
         labels
     }
 
-    /// Total incidents across every shard.
+    /// Total incidents across every shard (resident or spilled; cached
+    /// lengths, no fault-in).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|(_, store)| store.len()).sum()
+        self.shards.iter().map(|shard| shard.len).sum()
     }
 
     /// Whether the warehouse holds no incidents.
@@ -201,9 +518,9 @@ impl IncidentWarehouse {
     }
 
     fn resolve(&self, key: DossierKey) -> WarehouseHit<'_> {
-        let (label, store) = &self.shards[key.shard];
+        let store = self.store_for(key.shard);
         WarehouseHit {
-            job: label,
+            job: &self.shards[key.shard].label,
             dossier: store
                 .get(key.seq)
                 .expect("indexed dossier is present in its shard"),
@@ -265,8 +582,7 @@ impl IncidentWarehouse {
     /// Every dossier of one shard as canonical keys (sorted by construction:
     /// stores keep dossiers in ascending seq / non-decreasing time order).
     fn shard_keys(&self, shard: usize) -> Vec<DossierKey> {
-        self.shards[shard]
-            .1
+        self.store_for(shard)
             .all()
             .iter()
             .map(|dossier| DossierKey {
@@ -282,7 +598,8 @@ impl IncidentWarehouse {
     /// the remaining filters applied to the narrowed candidate set. Returns
     /// exactly what [`IncidentWarehouse::linear_scan`] would, in the same
     /// canonical order — single posting lists are used as-is, multi-list
-    /// candidates are merged, nothing is re-sorted.
+    /// candidates are merged, nothing is re-sorted. Spilled shards holding
+    /// matching dossiers are faulted back in transparently.
     pub fn query(&self, query: &IncidentQuery) -> Vec<WarehouseHit<'_>> {
         let keys: Vec<DossierKey> = if let Some(machine) = query.machine {
             self.by_machine.get(&machine).cloned().unwrap_or_default()
@@ -340,15 +657,18 @@ impl IncidentWarehouse {
     /// of every shard, no indexes involved, with its own full sort — fully
     /// independent of the posting-list sort invariant the indexed path relies
     /// on. Kept for the invariant tests that pin `query == linear_scan`.
+    /// Faults in every spilled shard.
     pub fn linear_scan(&self, query: &IncidentQuery) -> Vec<WarehouseHit<'_>> {
-        let mut hits: Vec<WarehouseHit<'_>> = self
-            .shards
-            .iter()
-            .flat_map(|(label, store)| {
-                store.all().iter().map(move |dossier| WarehouseHit {
-                    job: label,
-                    dossier,
-                })
+        let mut hits: Vec<WarehouseHit<'_>> = (0..self.shards.len())
+            .flat_map(|index| {
+                let label = self.shards[index].label.as_str();
+                self.store_for(index)
+                    .all()
+                    .iter()
+                    .map(move |dossier| WarehouseHit {
+                        job: label,
+                        dossier,
+                    })
             })
             .filter(|hit| query.matches(hit.dossier))
             .collect();
@@ -386,8 +706,8 @@ impl IncidentWarehouse {
     /// shard (the Table 6 "ours" columns, fleet-wide).
     pub fn resolution_time_by_symptom(&self) -> BTreeMap<FaultKind, (f64, f64)> {
         let mut acc: BTreeMap<FaultKind, Vec<f64>> = BTreeMap::new();
-        for (_, store) in &self.shards {
-            for dossier in store.all() {
+        for index in 0..self.shards.len() {
+            for dossier in self.store_for(index).all() {
                 acc.entry(dossier.kind)
                     .or_default()
                     .push(dossier.resolution_time().as_secs_f64());
@@ -406,8 +726,8 @@ impl IncidentWarehouse {
     /// concluded cause equals ground truth, per category.
     pub fn attribution_stats(&self) -> BTreeMap<FaultCategory, (usize, usize)> {
         let mut stats: BTreeMap<FaultCategory, (usize, usize)> = BTreeMap::new();
-        for (_, store) in &self.shards {
-            for (category, (matching, total)) in store.attribution_stats() {
+        for index in 0..self.shards.len() {
+            for (category, (matching, total)) in self.store_for(index).attribution_stats() {
                 let entry = stats.entry(category).or_insert((0, 0));
                 entry.0 += matching;
                 entry.1 += total;
@@ -428,6 +748,135 @@ impl IncidentWarehouse {
             matching as f64 / total as f64
         }
     }
+
+    /// Exports the whole warehouse — bucket width plus every shard's store —
+    /// as one self-describing JSON document. Shards appear in insertion
+    /// order; a re-import rebuilds identical indexes (shard order does not
+    /// affect query results — pinned by the merge-determinism tests).
+    pub fn export_json(&self) -> String {
+        let shards = (0..self.shards.len())
+            .map(|index| {
+                JsonValue::object(vec![
+                    ("job", JsonValue::Str(self.shards[index].label.clone())),
+                    ("store", self.store_for(index).encode()),
+                ])
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("format", JsonValue::Str(WAREHOUSE_FORMAT.to_string())),
+            ("version", JsonValue::U64(FORMAT_VERSION)),
+            (
+                "bucket_width_ms",
+                JsonValue::U64(self.bucket_width.as_millis()),
+            ),
+            ("shards", JsonValue::Array(shards)),
+        ])
+        .render()
+    }
+
+    /// Imports a warehouse previously written by
+    /// [`IncidentWarehouse::export_json`], rebuilding every secondary index.
+    /// The imported warehouse is fully in-memory (attach storage by
+    /// re-ingesting into [`IncidentWarehouse::with_storage`] if spill is
+    /// wanted). Never panics on corrupt input.
+    pub fn import_json(text: &str) -> Result<IncidentWarehouse, CodecError> {
+        let document = JsonValue::parse(text)?;
+        check_format(&document, WAREHOUSE_FORMAT)?;
+        let bucket_ms: u64 = document.field("bucket_width_ms")?;
+        if bucket_ms == 0 {
+            return Err(CodecError::other(
+                "bucket_width_ms must be positive".to_string(),
+            ));
+        }
+        let mut warehouse = IncidentWarehouse::new(SimDuration::from_millis(bucket_ms));
+        let shards: Vec<(String, IncidentStore)> = match document.get("shards") {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(|item| {
+                    let job: String = item.field("job")?;
+                    let store: IncidentStore = item.field("store")?;
+                    Ok((job, store))
+                })
+                .collect::<Result<_, CodecError>>()?,
+            _ => {
+                return Err(CodecError::other(
+                    "missing or non-array `shards`".to_string(),
+                ))
+            }
+        };
+        for (job, store) in &shards {
+            warehouse.ingest_store(job, store);
+        }
+        Ok(warehouse)
+    }
+
+    /// A deterministic, human-diffable rendering of the warehouse's *entire*
+    /// contents: fleet-wide aggregates, then every shard (sorted by label)
+    /// with every dossier and its full capture. Two warehouses render the
+    /// same digest iff their queryable content is identical, which makes the
+    /// digest the byte-for-byte artifact the export→import→render CI
+    /// round-trip diffs.
+    pub fn render_digest(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "==== IncidentWarehouse digest: {} incidents across {} shards (bucket width {}) ====",
+            self.len(),
+            self.shards.len(),
+            self.bucket_width,
+        );
+        for (severity, count) in self.severity_counts() {
+            let _ = writeln!(out, "  {:>5}: {}", severity.label(), count);
+        }
+        for (category, count) in self.category_counts() {
+            let _ = writeln!(out, "  {category:?}: {count}");
+        }
+        let _ = writeln!(
+            out,
+            "  attribution accuracy: {:.6}",
+            self.attribution_accuracy()
+        );
+        for (machine, count) in self.machine_incident_counts() {
+            let _ = writeln!(out, "  {machine}: {count} incident(s)");
+        }
+        for job in self.jobs() {
+            let store = self.shard(job).expect("listed job has a shard");
+            let _ = writeln!(out, "\n-- shard {job}: {} incident(s)", store.len());
+            for dossier in store.all() {
+                let evicted: Vec<String> = dossier.evicted.iter().map(|m| m.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "  #{} at {} {:?} {} {} {:?}->{:?} evicted=[{}] over={} resumed={}",
+                    dossier.seq,
+                    dossier.at,
+                    dossier.kind,
+                    dossier.classification.severity.label(),
+                    dossier.classification.rec_code,
+                    dossier.root_cause,
+                    dossier.concluded_cause,
+                    evicted.join(", "),
+                    dossier.over_evicted,
+                    dossier.resumed_step,
+                );
+                for entry in &dossier.capture.context {
+                    let _ = writeln!(out, "    ctx {entry}");
+                }
+                for entry in &dossier.capture.window {
+                    let _ = writeln!(out, "    win {entry}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Postmortems for every incident at least as severe as `floor`, across
+    /// every shard, in canonical order.
+    pub fn postmortems_at_least(&self, floor: Severity) -> Vec<Postmortem> {
+        self.at_least(floor)
+            .into_iter()
+            .map(|hit| Postmortem::for_dossier(hit.dossier))
+            .collect()
+    }
 }
 
 impl Default for IncidentWarehouse {
@@ -435,6 +884,39 @@ impl Default for IncidentWarehouse {
     fn default() -> Self {
         IncidentWarehouse::new(SimDuration::from_hours(1))
     }
+}
+
+/// Renders one shard's segment document.
+fn render_segment(job: &str, store: &IncidentStore) -> String {
+    JsonValue::object(vec![
+        ("format", JsonValue::Str(SEGMENT_FORMAT.to_string())),
+        ("version", JsonValue::U64(FORMAT_VERSION)),
+        ("job", JsonValue::Str(job.to_string())),
+        ("store", store.encode()),
+    ])
+    .render()
+}
+
+/// Loads and validates one shard's segment document.
+fn load_segment(path: &Path, job: &str, expected_len: usize) -> Result<IncidentStore, CodecError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| CodecError::other(format!("cannot read segment: {err}")))?;
+    let document = JsonValue::parse(&text)?;
+    check_format(&document, SEGMENT_FORMAT)?;
+    let segment_job: String = document.field("job")?;
+    if segment_job != job {
+        return Err(CodecError::other(format!(
+            "segment belongs to job `{segment_job}`, expected `{job}`"
+        )));
+    }
+    let store: IncidentStore = document.field("store")?;
+    if store.len() != expected_len {
+        return Err(CodecError::other(format!(
+            "segment holds {} dossiers, the index expects {expected_len}",
+            store.len()
+        )));
+    }
+    Ok(store)
 }
 
 #[cfg(test)]
@@ -494,6 +976,11 @@ mod tests {
 
     fn warehouse() -> IncidentWarehouse {
         let mut w = IncidentWarehouse::default();
+        fill(&mut w);
+        w
+    }
+
+    fn fill(w: &mut IncidentWarehouse) {
         w.insert(
             "alpha",
             dossier(1, 1, FaultKind::CudaError, vec![MachineId(3)]),
@@ -510,13 +997,21 @@ mod tests {
             "beta",
             dossier(2, 30, FaultKind::CodeDataAdjustment, vec![]),
         );
-        w
     }
 
     fn ids(hits: &[WarehouseHit<'_>]) -> Vec<(String, u64)> {
         hits.iter()
             .map(|h| (h.job.to_string(), h.dossier.seq))
             .collect()
+    }
+
+    /// A unique spill dir under the target-adjacent temp root; removed best
+    /// effort by the caller.
+    fn spill_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "byterobust-warehouse-test-{tag}-{}",
+            std::process::id()
+        ))
     }
 
     #[test]
@@ -606,5 +1101,178 @@ mod tests {
             ids(&b.by_machine(MachineId(3)))
         );
         assert_eq!(a.jobs(), b.jobs());
+    }
+
+    #[test]
+    fn spilled_warehouse_answers_queries_identically() {
+        let dir = spill_dir("queries");
+        let memory = warehouse();
+        let mut spilled = IncidentWarehouse::with_storage(
+            SimDuration::from_hours(1),
+            WarehouseStorage::new(1, &dir),
+        );
+        fill(&mut spilled);
+        // A 1-dossier budget with two 2-dossier shards must have spilled.
+        let stats = spilled.spill_stats();
+        assert!(
+            stats.segments_written >= 1,
+            "budget forces a spill: {stats:?}"
+        );
+        assert!(stats.spilled_shards >= 1);
+        assert_eq!(spilled.len(), memory.len(), "len uses cached counts");
+
+        let queries = [
+            IncidentQuery::any(),
+            IncidentQuery::any().machine(MachineId(3)),
+            IncidentQuery::any().category(FaultCategory::Explicit),
+            IncidentQuery::any().at_least(Severity::Sev3),
+            IncidentQuery::any().window(SimTime::ZERO, SimTime::from_hours(6)),
+        ];
+        for query in queries {
+            assert_eq!(
+                ids(&spilled.query(&query)),
+                ids(&memory.query(&query)),
+                "spill on/off must agree on {query:?}"
+            );
+            assert_eq!(
+                ids(&spilled.query(&query)),
+                ids(&spilled.linear_scan(&query)),
+                "spilled indexed path must equal its own linear scan on {query:?}"
+            );
+        }
+        assert!(
+            spilled.spill_stats().fault_ins >= 1,
+            "queries faulted spilled shards back in"
+        );
+        // Full-content identity, not just ids.
+        assert_eq!(spilled.render_digest(), memory.render_digest());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_keeps_aggregates_and_digest_stable() {
+        let dir = spill_dir("aggregates");
+        let memory = warehouse();
+        let mut spilled = IncidentWarehouse::with_storage(
+            SimDuration::from_hours(1),
+            WarehouseStorage::new(0, &dir),
+        );
+        fill(&mut spilled);
+        // Budget 0: everything non-resident after each insert.
+        assert_eq!(spilled.spill_stats().resident_dossiers, 0);
+        assert_eq!(spilled.severity_counts(), memory.severity_counts());
+        assert_eq!(spilled.category_counts(), memory.category_counts());
+        assert_eq!(
+            spilled.machine_incident_counts(),
+            memory.machine_incident_counts()
+        );
+        assert_eq!(
+            spilled.resolution_time_by_symptom(),
+            memory.resolution_time_by_symptom()
+        );
+        assert_eq!(spilled.attribution_stats(), memory.attribution_stats());
+        assert_eq!(spilled.render_digest(), memory.render_digest());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_clean_faulted_in_shard_respills_without_a_rewrite() {
+        let dir = spill_dir("clean");
+        let mut w = IncidentWarehouse::with_storage(
+            SimDuration::from_hours(1),
+            WarehouseStorage::new(0, &dir),
+        );
+        w.insert(
+            "alpha",
+            dossier(1, 1, FaultKind::CudaError, vec![MachineId(3)]),
+        );
+        let written_after_insert = w.spill_stats().segments_written;
+        // Fault alpha back in with a read…
+        assert_eq!(w.by_machine(MachineId(3)).len(), 1);
+        assert_eq!(w.spill_stats().resident_dossiers, 1);
+        // …then trigger budget enforcement through an insert into another
+        // shard. Alpha is clean (unchanged since its spill), so it drops
+        // without a second write; only beta's new segment is written.
+        w.insert(
+            "beta",
+            dossier(1, 2, FaultKind::JobHang, vec![MachineId(4)]),
+        );
+        let stats = w.spill_stats();
+        assert_eq!(stats.resident_dossiers, 0);
+        assert_eq!(
+            stats.segments_written,
+            written_after_insert + 1,
+            "clean shard must not be rewritten"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clones_of_a_spilled_warehouse_share_no_segment_files() {
+        let dir = spill_dir("clone");
+        let mut original = IncidentWarehouse::with_storage(
+            SimDuration::from_hours(1),
+            WarehouseStorage::new(0, &dir),
+        );
+        fill(&mut original);
+        assert!(original.spill_stats().spilled_shards >= 1);
+        let snapshot = original.clone();
+        let baseline = snapshot.render_digest();
+        // The clone is fully resident and detached from disk.
+        assert_eq!(snapshot.storage(), None);
+        assert_eq!(snapshot.spill_stats().spilled_dossiers, 0);
+        // Mutating the original rewrites its segment files; the clone must
+        // not notice — it reads nothing from disk.
+        original.insert(
+            "alpha",
+            dossier(9, 40, FaultKind::JobHang, vec![MachineId(8)]),
+        );
+        std::fs::remove_dir_all(&dir).expect("segments are on disk");
+        assert_eq!(snapshot.render_digest(), baseline);
+        assert_eq!(snapshot.query(&IncidentQuery::any()).len(), 4);
+    }
+
+    #[test]
+    fn export_import_round_trips_the_whole_warehouse() {
+        let w = warehouse();
+        let exported = w.export_json();
+        let imported = IncidentWarehouse::import_json(&exported).expect("import succeeds");
+        assert_eq!(imported.render_digest(), w.render_digest());
+        assert_eq!(imported.export_json(), exported, "export is a fixed point");
+        assert_eq!(imported.bucket_width(), w.bucket_width());
+        assert_eq!(
+            ids(&imported.query(&IncidentQuery::any())),
+            ids(&w.query(&IncidentQuery::any()))
+        );
+
+        // Corrupt exports fail with an error, never a panic.
+        assert!(IncidentWarehouse::import_json(&exported[..exported.len() / 3]).is_err());
+        assert!(IncidentWarehouse::import_json("{}").is_err());
+        let foreign = exported.replace(WAREHOUSE_FORMAT, "not-a-warehouse");
+        assert!(IncidentWarehouse::import_json(&foreign).is_err());
+    }
+
+    #[test]
+    fn corrupted_segment_faults_are_detected() {
+        let dir = spill_dir("corrupt");
+        let mut w = IncidentWarehouse::with_storage(
+            SimDuration::from_hours(1),
+            WarehouseStorage::new(0, &dir),
+        );
+        w.insert(
+            "alpha",
+            dossier(1, 1, FaultKind::CudaError, vec![MachineId(3)]),
+        );
+        let segment = IncidentWarehouse::segment_path(&dir, 0);
+        let text = std::fs::read_to_string(&segment).expect("segment exists");
+        // Direct decode of a truncated segment is an error, not a panic.
+        assert!(load_segment(&segment, "alpha", 1).is_ok());
+        std::fs::write(&segment, &text[..text.len() / 2]).unwrap();
+        assert!(load_segment(&segment, "alpha", 1).is_err());
+        // Wrong-job and wrong-length segments are rejected too.
+        std::fs::write(&segment, &text).unwrap();
+        assert!(load_segment(&segment, "beta", 1).is_err());
+        assert!(load_segment(&segment, "alpha", 2).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

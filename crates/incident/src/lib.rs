@@ -24,6 +24,11 @@
 //!    [`store::IncidentDossier`]s with a query API (by category, severity,
 //!    time window, machine, mechanism) that `JobReport` aggregations and the
 //!    bench tables read instead of recomputing from raw records.
+//! 5. [`codec`] — a hand-rolled, self-describing JSON codec (the offline
+//!    stand-in for real serde) with [`codec::Encode`]/[`codec::Decode`] impls
+//!    for every incident type, powering `IncidentStore::export_json` /
+//!    `IncidentStore::import_json` and the fleet warehouse's disk-spill
+//!    segment files.
 //!
 //! [`ResolutionMechanism`] lives here (rather than in `byterobust-core`) so
 //! the classification matrix can key on it without a dependency cycle; the
@@ -47,10 +52,13 @@
 //! ```
 
 pub mod classify;
+pub mod codec;
 pub mod mechanism;
 pub mod postmortem;
 pub mod recorder;
 pub mod store;
+
+pub use codec::{CodecError, Decode, Encode, ErrorPosition, JsonValue};
 
 pub use classify::{
     Classification, ClassificationInput, ClassificationMatrix, Escalation, Severity,
@@ -65,6 +73,8 @@ pub use store::{IncidentDossier, IncidentQuery, IncidentStore};
 
 /// Convenience prelude for downstream crates.
 pub mod prelude {
+    pub use crate::codec::{CodecError, Decode, Encode, ErrorPosition, JsonValue};
+
     pub use crate::classify::{
         Classification, ClassificationInput, ClassificationMatrix, Escalation, Severity,
     };

@@ -5,10 +5,21 @@
 //! sweeps returning over-evicted machines to the pool), and the
 //! repeat-offender ledger lowering eviction thresholds fleet-wide.
 //!
-//! The printed report is byte-identical across runs with the same seed.
+//! The printed report is byte-identical across runs with the same seed —
+//! including across the persistence modes below, which only write to stderr
+//! and to files. The `persistence-roundtrip` CI job relies on that to diff
+//! spill-on vs spill-off runs byte-for-byte.
 //!
 //! ```text
 //! cargo run --release --example fleet_drill
+//! BYTEROBUST_SPILL=1 cargo run --release --example fleet_drill
+//!     # spill cold warehouse shards to segment files (dir from
+//!     # BYTEROBUST_SPILL_DIR, default target/fleet_drill_spill);
+//!     # stdout is byte-identical to the in-memory run
+//! BYTEROBUST_EXPORT_DIR=out cargo run --release --example fleet_drill
+//!     # additionally export the warehouse to out/warehouse.json, re-import
+//!     # it, render both digests (out/warehouse_digest*.txt), and assert
+//!     # they are byte-identical
 //! ```
 
 use byterobust::prelude::*;
@@ -16,8 +27,22 @@ use byterobust::prelude::*;
 /// Fixed seed so CI smoke runs (and curious readers) get identical output.
 const FLEET_SEED: u64 = 20250916;
 
+/// A deliberately small resident budget so the drill actually exercises the
+/// spill path: the three shards hold ~100 dossiers between them.
+const SPILL_BUDGET: usize = 16;
+
 fn main() {
-    let runner = FleetRunner::new(FleetConfig::small_drill(), FLEET_SEED);
+    let mut config = FleetConfig::small_drill();
+    let spill = std::env::var("BYTEROBUST_SPILL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if spill {
+        let dir = std::env::var_os("BYTEROBUST_SPILL_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("target/fleet_drill_spill"));
+        config = config.with_warehouse_storage(WarehouseStorage::new(SPILL_BUDGET, dir));
+    }
+    let runner = FleetRunner::new(config, FLEET_SEED);
     let report = runner.run();
     print!("{}", report.render());
 
@@ -36,4 +61,48 @@ fn main() {
         "at least one swept machine must return to the standby pool"
     );
     assert!(!report.warehouse.is_empty());
+
+    if spill {
+        let stats = report.warehouse.spill_stats();
+        assert!(
+            stats.segments_written >= 1,
+            "the spill budget must force at least one segment write"
+        );
+        // Spill telemetry goes to stderr only: stdout stays byte-identical
+        // to the in-memory run.
+        eprintln!(
+            "warehouse spill: {} segment write(s), {} fault-in(s), {} dossier(s) resident / {} \
+             on disk at exit",
+            stats.segments_written,
+            stats.fault_ins,
+            stats.resident_dossiers,
+            stats.spilled_dossiers,
+        );
+    }
+
+    if let Some(dir) = std::env::var_os("BYTEROBUST_EXPORT_DIR").map(std::path::PathBuf::from) {
+        std::fs::create_dir_all(&dir).expect("create BYTEROBUST_EXPORT_DIR");
+        let exported = report.warehouse.export_json();
+        let digest = report.warehouse.render_digest();
+        let imported = IncidentWarehouse::import_json(&exported)
+            .expect("the drill's own export must re-import");
+        let reimported_digest = imported.render_digest();
+        assert_eq!(
+            digest, reimported_digest,
+            "export→import→render must reproduce the warehouse byte-for-byte"
+        );
+        std::fs::write(dir.join("warehouse.json"), &exported).expect("write warehouse.json");
+        std::fs::write(dir.join("warehouse_digest.txt"), &digest).expect("write digest");
+        std::fs::write(
+            dir.join("warehouse_digest_reimported.txt"),
+            &reimported_digest,
+        )
+        .expect("write reimported digest");
+        eprintln!(
+            "warehouse export: {} bytes, digest {} bytes, re-import byte-identical -> {}",
+            exported.len(),
+            digest.len(),
+            dir.display()
+        );
+    }
 }

@@ -408,3 +408,159 @@ fn repeat_offender_ledger_is_built_from_cross_job_history() {
         "some offender must have incidents in more than one job"
     );
 }
+
+/// A unique directory for spill segments; callers clean it up best effort.
+fn spill_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "byterobust-fleet-test-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn warehouse_spill_is_invisible_on_the_small_drill() {
+    // The tentpole oracle at drill scale: the same fleet with a deliberately
+    // tiny resident budget must render byte-identically and answer every
+    // query identically to the in-memory run — and to the brute-force
+    // linear scan, which is independent of both the indexes and the spill
+    // layer.
+    let dir = spill_dir("small");
+    let memory = drill();
+    let spilled = FleetRunner::new(
+        FleetConfig::small_drill().with_warehouse_storage(WarehouseStorage::new(8, &dir)),
+        20250916,
+    )
+    .run();
+    assert_eq!(
+        memory.render(),
+        spilled.render(),
+        "small_drill: spill on/off must render byte-identically"
+    );
+    let stats = spilled.warehouse.spill_stats();
+    assert!(
+        stats.segments_written >= 1,
+        "an 8-dossier budget must spill on the drill: {stats:?}"
+    );
+
+    let queries = [
+        IncidentQuery::any(),
+        IncidentQuery::any().at_least(Severity::Sev2),
+        IncidentQuery::any().category(FaultCategory::Explicit),
+        IncidentQuery::any().window(SimTime::ZERO, SimTime::from_hours(12)),
+        IncidentQuery::any().kind(FaultKind::CudaError),
+    ];
+    for query in queries {
+        assert_eq!(
+            hit_ids(&spilled.warehouse.query(&query)),
+            hit_ids(&memory.warehouse.query(&query)),
+            "spill on/off disagree on {query:?}"
+        );
+        assert_eq!(
+            hit_ids(&spilled.warehouse.query(&query)),
+            hit_ids(&spilled.warehouse.linear_scan(&query)),
+            "spilled indexed path diverged from its linear scan on {query:?}"
+        );
+    }
+    // Per-machine queries across the whole index.
+    for (machine, count) in memory.warehouse.machine_incident_counts() {
+        assert_eq!(spilled.warehouse.by_machine(machine).len(), count);
+    }
+    // Full-content identity of every dossier, not just ids.
+    assert_eq!(
+        spilled.warehouse.render_digest(),
+        memory.warehouse.render_digest()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warehouse_spill_is_invisible_on_the_large_drill() {
+    // The determinism-matrix oracle at large_drill scale: ~24 jobs, 1,280
+    // machines, a budget far below the incident volume.
+    let dir = spill_dir("large");
+    let runner = FleetRunner::new(FleetConfig::large_drill(), 20250916 + 41);
+    let memory = runner.run();
+    let spilled = FleetRunner::new(
+        FleetConfig::large_drill().with_warehouse_storage(WarehouseStorage::new(32, &dir)),
+        20250916 + 41,
+    )
+    .run();
+    assert_eq!(
+        memory.render(),
+        spilled.render(),
+        "large_drill: spill on/off must render byte-identically"
+    );
+    let stats = spilled.warehouse.spill_stats();
+    assert!(
+        stats.segments_written >= spilled.warehouse.jobs().len(),
+        "every shard must have spilled at least once: {stats:?}"
+    );
+    assert_eq!(
+        hit_ids(&spilled.warehouse.query(&IncidentQuery::any())),
+        hit_ids(&memory.warehouse.linear_scan(&IncidentQuery::any())),
+        "spilled query must equal the in-memory linear scan at large scale"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warehouse_export_import_render_round_trip_on_fleet_data() {
+    let report = drill();
+    let exported = report.warehouse.export_json();
+    let imported = IncidentWarehouse::import_json(&exported).expect("import succeeds");
+    assert_eq!(
+        imported.render_digest(),
+        report.warehouse.render_digest(),
+        "export→import→render must reproduce the warehouse byte-for-byte"
+    );
+    assert_eq!(
+        imported.export_json(),
+        exported,
+        "a second export is a fixed point"
+    );
+    assert_eq!(
+        hit_ids(&imported.query(&IncidentQuery::any())),
+        hit_ids(&report.warehouse.query(&IncidentQuery::any()))
+    );
+    // Postmortems regenerate identically from the imported dossiers.
+    for (before, after) in report
+        .warehouse
+        .postmortems_at_least(Severity::Sev2)
+        .iter()
+        .zip(imported.postmortems_at_least(Severity::Sev2).iter())
+    {
+        assert_eq!(before.render(), after.render());
+    }
+}
+
+#[test]
+fn job_reports_and_stores_round_trip_through_the_codec_on_fleet_data() {
+    // Real fleet-produced reports (full flight-recorder captures, every
+    // mechanism the drill exercises) survive export→import exactly.
+    let report = drill();
+    for job in &report.jobs {
+        let exported = job.report.export_json();
+        let imported =
+            JobReport::import_json(&exported).unwrap_or_else(|err| panic!("{}: {err}", job.label));
+        assert_eq!(imported, job.report, "{} report changed", job.label);
+        assert_eq!(imported.export_json(), exported);
+
+        let store_json = job.report.incident_store.export_json();
+        let store = IncidentStore::import_json(&store_json)
+            .unwrap_or_else(|err| panic!("{}: {err}", job.label));
+        assert_eq!(store, job.report.incident_store);
+        for dossier in store.all() {
+            let before = job
+                .report
+                .incident_store
+                .postmortem(dossier.seq)
+                .expect("postmortem exists")
+                .render();
+            let after = store
+                .postmortem(dossier.seq)
+                .expect("postmortem exists")
+                .render();
+            assert_eq!(before, after, "{} #{}", job.label, dossier.seq);
+        }
+    }
+}
