@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench_guard <BENCH_reproduce.json> <ci/bench_budget.json>            # enforce
+//! bench_guard --strict <BENCH_reproduce.json> <ci/bench_budget.json>  # + unguarded = failure
 //! bench_guard --update <BENCH_reproduce.json> <ci/bench_budget.json>  # rewrite budget
 //! ```
 //!
@@ -15,10 +16,12 @@
 //! is, instead of a bare exit code. The 2× factor absorbs runner-hardware
 //! variance while still catching complexity regressions.
 //!
-//! Measured sections *absent from the budget file* do not fail the gate (a
-//! budget refresh is a deliberate, reviewed step) but are reported as a
-//! warning naming each unguarded section, so a newly added panel cannot
-//! silently dodge regression coverage.
+//! Measured sections *absent from the budget file* do not fail the gate by
+//! default (a budget refresh is a deliberate, reviewed step) but are reported
+//! as a warning naming each unguarded section, so a newly added panel cannot
+//! silently dodge regression coverage. Under `--strict` — what CI runs —
+//! that warning becomes a failure: every measured section must carry a
+//! budget entry before the gate passes.
 //!
 //! `--update` rewrites the budget file from the current measurement (totals
 //! and sections alike), for deliberate budget refreshes after intentional
@@ -37,14 +40,22 @@ const REGRESSION_FACTOR: f64 = 2.0;
 const MIN_BUDGET_SECS: f64 = 0.05;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_guard [--update] <BENCH_reproduce.json> <bench_budget.json>");
+    eprintln!(
+        "usage: bench_guard [--update | --strict] <BENCH_reproduce.json> <bench_budget.json>"
+    );
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let update = args.first().map(String::as_str) == Some("--update");
-    if update {
+    let mut update = false;
+    let mut strict = false;
+    while let Some(flag) = args.first().map(String::as_str) {
+        match flag {
+            "--update" => update = true,
+            "--strict" => strict = true,
+            _ => break,
+        }
         args.remove(0);
     }
     let [results_path, budget_path] = args.as_slice() else {
@@ -147,9 +158,9 @@ fn main() -> ExitCode {
         }
     }
     // Measured sections with no budget entry cannot regress-gate anything: a
-    // newly added panel would silently dodge the guard. Not a failure (the
-    // budget refresh is a deliberate, reviewed step) but a loud warning that
-    // names every unguarded section.
+    // newly added panel would silently dodge the guard. A loud warning that
+    // names every unguarded section by default; a gate failure under
+    // `--strict` (CI), where the budget must cover every measured section.
     let unknown: Vec<&str> = measured_sections
         .iter()
         .map(|(name, _)| name.as_str())
@@ -159,6 +170,12 @@ fn main() -> ExitCode {
         rows.push(format!(
             "  {name:<24} (no budget recorded — run bench_guard --update to adopt it)"
         ));
+        if strict {
+            failures.push(format!(
+                "{name}: measured section has no budget entry (--strict). Run bench_guard \
+                 --update to adopt it deliberately"
+            ));
+        }
     }
 
     let mut report = String::new();
@@ -169,7 +186,7 @@ fn main() -> ExitCode {
     for row in rows {
         let _ = writeln!(report, "{row}");
     }
-    if !unknown.is_empty() {
+    if !unknown.is_empty() && !strict {
         eprintln!(
             "bench_guard: WARNING — {} measured section(s) have no budget entry and are NOT \
              regression-guarded: {}. Run `bench_guard --update {results_path} {budget_path}` to \

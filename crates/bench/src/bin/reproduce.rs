@@ -16,11 +16,13 @@
 //! clock changes. Sections are printed in the fixed document order
 //! regardless of completion order.
 //!
-//! Two machine-readable artifacts are written afterwards (into
+//! Three machine-readable artifacts are written afterwards (into
 //! `$BYTEROBUST_BENCH_DIR`, default `.`): `BENCH_reproduce.json` with
-//! per-section and total wall times, and `BENCH_fleet.json` with the
-//! `large_drill` scheduler-throughput measurement. `ci/bench_budget.json` +
-//! the `bench_guard` binary turn the former into a CI regression gate.
+//! per-section and total wall times, `BENCH_fleet.json` with the
+//! `large_drill` scheduler-throughput measurement, and `BENCH_obs.json`
+//! with the observability plane's self-profiling (trace codec timings plus
+//! the full wall-clock metrics registry). `ci/bench_budget.json` + the
+//! `bench_guard` binary turn the first into a CI regression gate.
 //!
 //! Setting `BYTEROBUST_PERSIST_DIR=<dir>` additionally writes the incident
 //! warehouse's persistence artifacts there (`warehouse.json` plus the
@@ -31,7 +33,7 @@
 //! the digests itself.
 
 use byterobust_bench::experiments;
-use byterobust_bench::perf::{timed, PerfRecorder};
+use byterobust_bench::perf::{timed, ObsBenchStats, PerfRecorder};
 
 fn main() {
     let run_start = std::time::Instant::now();
@@ -48,7 +50,7 @@ fn main() {
     // The heavy simulations are independent (each owns its forked seed), so
     // they run concurrently with the cheap closed-form sections and with each
     // other; printing happens in document order below.
-    let (cheap, fig2, fleet_panel, broker_panel, persistence, production) =
+    let (cheap, fig2, fleet_panel, broker_panel, persistence, obs, production) =
         std::thread::scope(|scope| {
             let spawn_or_inline = |f: fn() -> String| {
                 if serial {
@@ -64,6 +66,11 @@ fn main() {
                 None
             } else {
                 Some(scope.spawn(|| timed(experiments::persistence_panel)))
+            };
+            let obs = if serial {
+                None
+            } else {
+                Some(scope.spawn(|| timed(experiments::obs_panel)))
             };
             let production = if serial {
                 None
@@ -102,6 +109,10 @@ fn main() {
                 Some(handle) => handle.join().expect("experiment thread panicked"),
                 None => timed(experiments::persistence_panel),
             };
+            let obs = match obs {
+                Some(handle) => handle.join().expect("experiment thread panicked"),
+                None => timed(experiments::obs_panel),
+            };
             let production = match production {
                 Some(handle) => handle.join().expect("experiment thread panicked"),
                 None => timed(experiments::production_reports),
@@ -112,6 +123,7 @@ fn main() {
                 fleet_panel,
                 broker_panel,
                 persistence,
+                obs,
                 production,
             )
         });
@@ -150,6 +162,18 @@ fn main() {
     perf.record("persistence_import", persistence_stats.import_secs);
     perf.record("persistence_cold_query", persistence_stats.cold_query_secs);
     perf.record("persistence_hot_query", persistence_stats.hot_query_secs);
+
+    // Observability: sim-time tracing determinism oracles, cause-chain
+    // conformance against the incident store, and the wall-clock metrics
+    // registry (asserted inside the panel). The deterministic panel goes to
+    // stdout; the trace codec wall clocks become their own guarded sections
+    // and the registry becomes `BENCH_obs.json`.
+    let ((obs_text, obs_stats), obs_secs) = obs;
+    println!("{obs_text}");
+    perf.record("obs_panel", obs_secs);
+    perf.record("obs_trace_export", obs_stats.trace_export_secs);
+    perf.record("obs_trace_import", obs_stats.trace_import_secs);
+    perf.record("obs_trace_diagnose", obs_stats.trace_diagnose_secs);
 
     // Fleet scale-out: the large drill under the heap scheduler. The panel is
     // deterministic; the measured throughput goes to stderr and the JSON.
@@ -190,6 +214,16 @@ fn main() {
     match fleet_stats.write_fleet_json() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(err) => eprintln!("failed to write BENCH_fleet.json: {err}"),
+    }
+    let obs_bench = ObsBenchStats {
+        trace_export_secs: obs_stats.trace_export_secs,
+        trace_import_secs: obs_stats.trace_import_secs,
+        trace_diagnose_secs: obs_stats.trace_diagnose_secs,
+        metrics_json: obs_stats.registry.export_json(),
+    };
+    match obs_bench.write_obs_json() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write BENCH_obs.json: {err}"),
     }
     eprintln!("reproduce finished in {total:.2}s (parallel = {})", !serial);
 }

@@ -17,6 +17,9 @@ use byterobust_fleet::{
     BrokerConfig, FleetConfig, FleetRunner, IncidentWarehouse, SchedulerKind, WarehouseStorage,
 };
 use byterobust_incident::IncidentQuery;
+use byterobust_obs::{
+    trace_diagnose, trace_diagnose_all, trace_get, MetricsRegistry, SpanKind, Trace, TraceQuery,
+};
 use byterobust_parallelism::ParallelismConfig;
 use byterobust_recovery::{
     binomial_quantile, DualPhaseReplay, ReplayConfig, RestartCostModel, RestartStrategy,
@@ -987,6 +990,271 @@ pub fn persistence_panel() -> (String, PersistenceStats) {
             "{}\nRound-trip oracles: export→import→render digest byte-identical; JobReport \
              export→import exact; spilled queries equal in-memory and linear scan (all asserted)\n",
             table.render()
+        ),
+        stats,
+    )
+}
+
+/// Wall-clock self-profiling behind `BENCH_obs.json`. Never printed to
+/// stdout (timings and op counts differ run to run / per scheduler; stdout
+/// must stay byte-identical).
+#[derive(Debug, Clone)]
+pub struct ObsStats {
+    /// Wall seconds to export the drill trace to JSON.
+    pub trace_export_secs: f64,
+    /// Wall seconds to parse + decode the export back.
+    pub trace_import_secs: f64,
+    /// Wall seconds to walk every cause chain out of the trace.
+    pub trace_diagnose_secs: f64,
+    /// The full metrics registry written to `BENCH_obs.json`.
+    pub registry: MetricsRegistry,
+}
+
+/// Observability panel: the sim-time trace of the small fleet drill, its
+/// determinism oracles, and the cause-chain walker's conformance against the
+/// incident store.
+///
+/// Asserts inline: (1) the heap and naive-scan runs produce byte-identical
+/// trace exports, (2) a disk-spilled run's trace is byte-identical too
+/// (spill is invisible to the sim-time domain), (3) the trace export is an
+/// `import_json` fixed point, (4) `trace_diagnose` reconstructs, for *every*
+/// recorded incident, the mechanism, concluded cause, and eviction set the
+/// dossier recorded — from spans alone, and (5) the wall-clock metrics
+/// registry export is a fixed point of its own codec.
+///
+/// The wall-clock domain (scheduler op counters, warehouse query latencies,
+/// spill/fault-in bytes, broker grant outcomes, pool occupancy) is collected
+/// into the returned [`MetricsRegistry`] and written to `BENCH_obs.json` by
+/// `reproduce`; stdout carries only deterministic counts.
+pub fn obs_panel() -> (String, ObsStats) {
+    let runner = FleetRunner::new(FleetConfig::small_drill(), SEED + 70);
+    let heap = runner.run();
+    let naive = runner.run_with(SchedulerKind::NaiveScan);
+    let (trace_json, trace_export_secs) = timed(|| heap.trace.export_json());
+    assert_eq!(
+        trace_json,
+        naive.trace.export_json(),
+        "heap vs naive-scan traces must be byte-identical"
+    );
+
+    // The same drill with the warehouse spilling to disk: the sim-time trace
+    // must not notice.
+    let spill_dir =
+        std::env::temp_dir().join(format!("byterobust-obs-spill-{}", std::process::id()));
+    let spilled = FleetRunner::new(
+        FleetConfig::small_drill().with_warehouse_storage(WarehouseStorage::new(16, &spill_dir)),
+        SEED + 70,
+    )
+    .run();
+    assert_eq!(
+        trace_json,
+        spilled.trace.export_json(),
+        "spill on/off traces must be byte-identical"
+    );
+
+    let (imported, trace_import_secs) =
+        timed(|| Trace::import_json(&trace_json).expect("own trace export must re-import"));
+    assert_eq!(
+        imported.export_json(),
+        trace_json,
+        "trace export must be a fixed point"
+    );
+    let chrome = heap.trace.to_chrome_json();
+
+    // Cause-chain conformance: every dossier in every job's store must be
+    // reconstructible from spans alone, agreeing on mechanism, concluded
+    // cause, and eviction set.
+    let (chains, trace_diagnose_secs) = timed(|| trace_diagnose_all(&heap.trace));
+    let mut verified = 0usize;
+    let mut mechanisms: BTreeMap<String, usize> = BTreeMap::new();
+    for job in &heap.jobs {
+        for dossier in job.report.incident_store.all() {
+            let chain = trace_diagnose(&heap.trace, &job.label, dossier.seq)
+                .expect("every recorded incident has a cause chain in the trace");
+            assert_eq!(
+                chain.mechanism, dossier.mechanism,
+                "{}#{}: trace-reconstructed mechanism",
+                job.label, dossier.seq
+            );
+            assert_eq!(
+                chain.concluded_cause, dossier.concluded_cause,
+                "{}#{}: trace-reconstructed cause",
+                job.label, dossier.seq
+            );
+            assert_eq!(
+                chain.evicted, dossier.evicted,
+                "{}#{}: trace-reconstructed eviction set",
+                job.label, dossier.seq
+            );
+            *mechanisms
+                .entry(chain.mechanism.display_name().to_string())
+                .or_default() += 1;
+            verified += 1;
+        }
+    }
+    assert_eq!(
+        chains.len(),
+        verified,
+        "one cause chain per recorded incident"
+    );
+
+    // The query surface, on deterministic counts only.
+    let evict_spans = trace_get(&heap.trace, &TraceQuery::new().kind(SpanKind::Evict)).len();
+
+    // Wall-clock domain: exercise the spilled warehouse (one cold query that
+    // may fault segments in, one hot re-run), then collect everything into
+    // the registry. None of this reaches stdout.
+    let everything = IncidentQuery::any();
+    let cold_hits = spilled.warehouse.query(&everything).len();
+    let hot_hits = spilled.warehouse.query(&everything).len();
+    assert_eq!(cold_hits, hot_hits, "cold and hot queries agree");
+    let (query_hot, query_faulted) = spilled.warehouse.query_latency();
+    let spill_stats = spilled.warehouse.spill_stats();
+    drop(spilled);
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
+    // Broker grant outcomes from the starved drill; its trace carries the
+    // broker's interventions as spans with matching counts.
+    let starved = FleetRunner::new(FleetConfig::starved_drill(), SEED + 71).run();
+    let broker = starved
+        .broker
+        .as_ref()
+        .expect("starved drill enables the broker");
+    let starved_kind_count = |kind: SpanKind| {
+        starved
+            .trace
+            .spans
+            .iter()
+            .filter(|span| span.kind == kind)
+            .count()
+    };
+    assert_eq!(
+        starved_kind_count(SpanKind::Preemption),
+        broker.preempted_slots,
+        "one Preemption span per preempted slot"
+    );
+    assert_eq!(
+        starved_kind_count(SpanKind::Migration),
+        broker.migrated_machines,
+        "one Migration span per migrated machine"
+    );
+    let broker_spans = starved_kind_count(SpanKind::Admission)
+        + starved_kind_count(SpanKind::Preemption)
+        + starved_kind_count(SpanKind::Migration);
+
+    let mut registry = MetricsRegistry::new();
+    let heap_ops = heap.scheduler_ops;
+    let naive_ops = naive.scheduler_ops;
+    registry.set_counter("scheduler.heap.picks", heap_ops.picks);
+    registry.set_counter("scheduler.heap.pushes", heap_ops.heap_pushes);
+    registry.set_counter("scheduler.heap.stale_drops", heap_ops.stale_drops);
+    registry.set_counter("scheduler.heap.tie_draws", heap_ops.tie_draws);
+    registry.set_counter("scheduler.naive.picks", naive_ops.picks);
+    registry.set_counter(
+        "scheduler.naive.scan_comparisons",
+        naive_ops.scan_comparisons,
+    );
+    registry.set_counter("scheduler.naive.tie_draws", naive_ops.tie_draws);
+    registry.set_counter(
+        "warehouse.segments_written",
+        spill_stats.segments_written as u64,
+    );
+    registry.set_counter("warehouse.fault_ins", spill_stats.fault_ins as u64);
+    registry.set_counter(
+        "warehouse.spill_bytes_written",
+        spill_stats.spill_bytes_written,
+    );
+    registry.set_counter("warehouse.fault_in_bytes", spill_stats.fault_in_bytes);
+    registry.set_histogram("warehouse.query_hot_nanos", query_hot);
+    registry.set_histogram("warehouse.query_faulted_nanos", query_faulted);
+    registry.set_counter("broker.preempted_slots", broker.preempted_slots as u64);
+    registry.set_counter("broker.migrated_machines", broker.migrated_machines as u64);
+    registry.set_counter("broker.queued_jobs", broker.queued_jobs as u64);
+    registry.set_counter(
+        "broker.residual_shortfall_machines",
+        broker.residual_shortfall_machines as u64,
+    );
+    registry.set_counter(
+        "broker.reserve_held_machines",
+        broker.reserve_held_machines as u64,
+    );
+    registry.set_gauge("pool.ready_final", starved.shared_pool_ready_final as f64);
+    registry.set_gauge("pool.target", starved.shared_pool_target as f64);
+    registry.set_counter(
+        "pool.shortfall_events",
+        starved.pool_shortfall_events as u64,
+    );
+    for (kind, count) in heap.trace.counts_by_kind() {
+        registry.set_counter(&format!("trace.spans.{}", kind.label()), count as u64);
+    }
+    let registry_json = registry.export_json();
+    let registry_back =
+        MetricsRegistry::import_json(&registry_json).expect("own metrics export must re-import");
+    assert_eq!(
+        registry_back.export_json(),
+        registry_json,
+        "metrics export must be a fixed point"
+    );
+
+    let mut table = Table::new(
+        "Observability panel: sim-time tracing on the small fleet drill",
+        &["Quantity", "Value"],
+    );
+    table.row(&[
+        "Trace spans".to_string(),
+        heap.trace.spans.len().to_string(),
+    ]);
+    table.row(&[
+        "Trace scopes".to_string(),
+        heap.trace.scopes().len().to_string(),
+    ]);
+    table.row(&[
+        "Trace export (bytes)".to_string(),
+        trace_json.len().to_string(),
+    ]);
+    table.row(&[
+        "Chrome export (bytes)".to_string(),
+        chrome.len().to_string(),
+    ]);
+    table.row(&["Cause chains verified".to_string(), verified.to_string()]);
+    table.row(&[
+        "Evict spans (trace_get)".to_string(),
+        evict_spans.to_string(),
+    ]);
+    table.row(&[
+        "Broker spans (starved drill)".to_string(),
+        broker_spans.to_string(),
+    ]);
+
+    let mut kinds = Table::new("Trace span kinds (small drill)", &["Kind", "Count"]);
+    for (kind, count) in heap.trace.counts_by_kind() {
+        if count > 0 {
+            kinds.row(&[kind.label().to_string(), count.to_string()]);
+        }
+    }
+
+    let mut chains_table = Table::new(
+        "Cause chains by reconstructed mechanism (trace vs dossier: all agree)",
+        &["Mechanism", "Chains"],
+    );
+    for (mechanism, count) in &mechanisms {
+        chains_table.row(&[mechanism.clone(), count.to_string()]);
+    }
+
+    let stats = ObsStats {
+        trace_export_secs,
+        trace_import_secs,
+        trace_diagnose_secs,
+        registry,
+    };
+    (
+        format!(
+            "{}\n{}\n{}\nObservability oracles: heap/naive and spill on/off traces byte-identical; \
+             trace and metrics exports are import fixed points; every cause chain agrees with its \
+             recorded dossier (all asserted)\n",
+            table.render(),
+            kinds.render(),
+            chains_table.render(),
         ),
         stats,
     )

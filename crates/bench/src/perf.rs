@@ -172,6 +172,56 @@ impl FleetBenchStats {
     }
 }
 
+/// The observability self-profiling artifact backing `BENCH_obs.json`:
+/// trace codec timings plus the full wall-clock metrics registry export.
+#[derive(Debug, Clone)]
+pub struct ObsBenchStats {
+    /// Wall seconds to export the drill trace to JSON.
+    pub trace_export_secs: f64,
+    /// Wall seconds to re-import the export.
+    pub trace_import_secs: f64,
+    /// Wall seconds to reconstruct every cause chain from the trace.
+    pub trace_diagnose_secs: f64,
+    /// The metrics registry's own JSON export (scheduler op counters,
+    /// warehouse latency histograms, broker grant outcomes, pool gauges),
+    /// embedded verbatim as the `metrics` value.
+    pub metrics_json: String,
+}
+
+impl ObsBenchStats {
+    /// Renders the `BENCH_obs.json` document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"obs\",");
+        let _ = writeln!(
+            out,
+            "  \"trace_export_secs\": {:.6},",
+            self.trace_export_secs
+        );
+        let _ = writeln!(
+            out,
+            "  \"trace_import_secs\": {:.6},",
+            self.trace_import_secs
+        );
+        let _ = writeln!(
+            out,
+            "  \"trace_diagnose_secs\": {:.6},",
+            self.trace_diagnose_secs
+        );
+        let _ = writeln!(out, "  \"metrics\": {}", self.metrics_json.trim_end());
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes `BENCH_obs.json` into [`bench_dir`] and returns its path.
+    pub fn write_obs_json(&self) -> std::io::Result<PathBuf> {
+        let path = bench_dir().join("BENCH_obs.json");
+        std::fs::write(&path, self.render_json())?;
+        Ok(path)
+    }
+}
+
 /// Escapes a string for embedding in a JSON document.
 fn json_escape(s: &str) -> String {
     s.chars()
@@ -297,6 +347,21 @@ mod tests {
         assert_eq!(read_json_number("{\"a\": 3}", "a"), Some(3.0));
         assert_eq!(read_json_number("{\"a\": -1.5e3}", "a"), Some(-1500.0));
         assert_eq!(read_json_number("{\"a\": \"text\"}", "a"), None);
+    }
+
+    #[test]
+    fn obs_stats_render_embeds_metrics() {
+        let stats = ObsBenchStats {
+            trace_export_secs: 0.001,
+            trace_import_secs: 0.002,
+            trace_diagnose_secs: 0.003,
+            metrics_json: "{\"format\": 1}".to_string(),
+        };
+        let json = stats.render_json();
+        assert_eq!(read_json_number(&json, "trace_export_secs"), Some(0.001));
+        assert_eq!(read_json_number(&json, "trace_diagnose_secs"), Some(0.003));
+        assert!(json.contains("\"metrics\": {\"format\": 1}"));
+        assert!(json.ends_with("}\n"));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use byterobust_bench::experiments::job_reports;
 use byterobust_core::JobConfig;
+use byterobust_fleet::{FleetConfig, FleetRunner};
 use byterobust_sim::SimDuration;
 
 fn drill_jobs() -> Vec<(JobConfig, u64)> {
@@ -33,6 +34,30 @@ fn threaded_job_reports_are_byte_identical_to_serial() {
             "job {i}: threaded report diverged from the serial reference"
         );
     }
+}
+
+#[test]
+fn traces_are_byte_identical_across_host_threading() {
+    // The sim-time trace must be a pure function of the seed: running the
+    // drill on a worker thread (as the parallel `reproduce` harness does)
+    // and on the main thread must export byte-identical traces — host
+    // threading lives entirely in the wall-clock domain.
+    let serial = FleetRunner::new(FleetConfig::small_drill(), 20250916)
+        .run()
+        .trace
+        .export_json();
+    let threaded = std::thread::spawn(|| {
+        FleetRunner::new(FleetConfig::small_drill(), 20250916)
+            .run()
+            .trace
+            .export_json()
+    })
+    .join()
+    .expect("drill thread panicked");
+    assert_eq!(
+        serial, threaded,
+        "threaded trace diverged from the serial reference"
+    );
 }
 
 #[test]

@@ -17,6 +17,7 @@ use byterobust_agent::{
 use byterobust_analyzer::RuntimeAnalyzer;
 use byterobust_cluster::{Cluster, FaultCategory, FaultEvent, FaultKind, MachineId, RootCause};
 use byterobust_incident::{FlightRecorder, IncidentCapture, RecorderEvent, RecoveryPhase};
+use byterobust_obs::{names, SpanId, SpanKind, Trace, TraceRecorder};
 use byterobust_parallelism::ParallelTopology;
 use byterobust_recovery::{
     DualPhaseReplay, FailoverCost, HotUpdateManager, ReplayConfig, RestartCostModel,
@@ -91,6 +92,7 @@ pub struct RobustController {
     restart_model: RestartCostModel,
     stress_baseline: SelectiveStressTester,
     recorder: FlightRecorder,
+    trace: TraceRecorder,
 }
 
 impl RobustController {
@@ -112,6 +114,7 @@ impl RobustController {
             restart_model: RestartCostModel::for_job(job_machines),
             stress_baseline: SelectiveStressTester::new(),
             recorder: FlightRecorder::default(),
+            trace: TraceRecorder::new(),
         }
     }
 
@@ -136,6 +139,20 @@ impl RobustController {
     /// system events into the ring between incidents.
     pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
         &mut self.recorder
+    }
+
+    /// The sim-time trace recorder. Spans accumulate across every incident
+    /// this controller handles; all timestamps are simulated time, so the
+    /// recording is a pure function of the seed.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Freezes the controller's sim-time trace under `scope` (the job
+    /// label). See [`byterobust_obs::Trace::merge`] for combining per-job
+    /// traces with fleet-level spans.
+    pub fn trace_snapshot(&self, scope: &str) -> Trace {
+        self.trace.snapshot(scope)
     }
 
     /// The monitor (for detection-time queries).
@@ -243,6 +260,19 @@ impl RobustController {
             },
         );
 
+        // Open the sim-time trace: one root span per incident, named after
+        // the symptom, with the detection window as its first child.
+        let root = self
+            .trace
+            .open(SpanKind::Incident, fault.kind.symptom_name(), None, now);
+        self.trace.set_incident(root, fault.seq);
+        let detect_span = self
+            .trace
+            .open(SpanKind::Detect, names::DETECT, Some(root), now);
+        self.trace.close(detect_span, now + detection);
+        self.trace.set_incident(detect_span, fault.seq);
+        self.trace.set_value(detect_span, detection.as_millis());
+
         match fault.category() {
             FaultCategory::ManualRestart => {
                 // §6.1: code/data adjustments are folded into an in-place hot
@@ -260,7 +290,22 @@ impl RobustController {
             {
                 // §5: aggregation analysis and parallel-group over-eviction.
                 let topology = runtime.topology().clone();
+                let analyze_start = now + cost.total();
                 let decision = self.run_aggregation(fault, now, runtime, &topology, &mut cost);
+                let analyze_span = self.trace.open(
+                    SpanKind::Analyze,
+                    if decision.is_empty() {
+                        names::ANALYZE_NO_OUTLIERS
+                    } else {
+                        names::ANALYZE_OUTLIERS
+                    },
+                    Some(root),
+                    analyze_start,
+                );
+                self.trace.close(analyze_span, now + cost.total());
+                self.trace.set_incident(analyze_span, fault.seq);
+                self.trace
+                    .set_value(analyze_span, decision.machines.len() as u64);
                 if decision.is_empty() {
                     // No outliers (e.g. uniform slowdown): fall back to the
                     // stop-time path.
@@ -269,6 +314,7 @@ impl RobustController {
                         now,
                         cluster,
                         runtime,
+                        root,
                         &mut cost,
                         &mut evicted,
                         &mut rolled_back,
@@ -351,6 +397,7 @@ impl RobustController {
                             now,
                             cluster,
                             runtime,
+                            root,
                             &mut cost,
                             &mut evicted,
                             &mut rolled_back,
@@ -373,6 +420,7 @@ impl RobustController {
         }
         if !Self::is_resolved(fault, &evicted, rolled_back, true) {
             // Dual-phase replay over the machines still in the job.
+            let replay_start = now + cost.total();
             let pp = runtime.job().parallelism.pp.max(1);
             let gpus_per_machine = runtime.job().parallelism.gpus_per_machine.max(1);
             let pp_machines = (pp * runtime.job().parallelism.tp)
@@ -388,6 +436,8 @@ impl RobustController {
                 replay.locate(&machines, |_| false)
             };
             cost.localization += outcome.duration;
+            let replay_hit = outcome.found_suspects();
+            let replay_suspects = outcome.suspects.len() as u64;
             if outcome.found_suspects() {
                 if outcome.suspects.len() > fault.culprits.len() {
                     over_evicted = true;
@@ -410,6 +460,19 @@ impl RobustController {
                 over_evicted = true;
                 mechanism = ResolutionMechanism::StopTimeEviction;
             }
+            let replay_span = self.trace.open(
+                SpanKind::Replay,
+                if replay_hit {
+                    names::REPLAY_HIT
+                } else {
+                    names::REPLAY_MISS
+                },
+                Some(root),
+                replay_start,
+            );
+            self.trace.close(replay_span, now + cost.total());
+            self.trace.set_incident(replay_span, fault.seq);
+            self.trace.set_value(replay_span, replay_suspects);
         }
 
         // The cause the control plane concluded, read off the mechanism it
@@ -430,13 +493,14 @@ impl RobustController {
         // checkpoint restore, recomputation.
         evicted.sort();
         evicted.dedup();
-        self.recover(
+        let restore_span = self.recover(
             fault,
             now,
             cluster,
             runtime,
             ckpt,
             standby_pool,
+            root,
             &evicted,
             rolled_back,
             &mut cost,
@@ -476,6 +540,16 @@ impl RobustController {
             .recorder
             .close_incident(now + cost.total())
             .expect("incident window was opened at the top of handle_incident");
+
+        let resume = self.trace.instant(
+            SpanKind::Restore,
+            names::RESUME,
+            Some(restore_span),
+            now + cost.total(),
+        );
+        self.trace.set_incident(resume, fault.seq);
+        self.trace.set_value(resume, runtime.current_step());
+        self.trace.close(root, now + cost.total());
 
         IncidentOutcome {
             mechanism,
@@ -549,6 +623,7 @@ impl RobustController {
         now: SimTime,
         cluster: &Cluster,
         runtime: &TrainingRuntime,
+        root: SpanId,
         cost: &mut FailoverCost,
         evicted: &mut Vec<MachineId>,
         rolled_back: &mut bool,
@@ -556,6 +631,7 @@ impl RobustController {
         let _ = runtime;
         let log_class = Self::log_class_for(fault);
         let machines = cluster.active_machines();
+        let diagnose_start = now + cost.total();
         let outcome = self
             .diagnoser
             .diagnose(cluster, &machines, fault.kind, log_class);
@@ -568,6 +644,20 @@ impl RobustController {
                 duration: outcome.duration,
             },
         );
+        let diagnose_span = self.trace.open(
+            SpanKind::Diagnose,
+            match outcome.conclusion {
+                DiagnosisConclusion::FaultyMachines => names::DIAGNOSE_FAULTY_MACHINES,
+                DiagnosisConclusion::UserCodeSuspected => names::DIAGNOSE_USER_CODE,
+                DiagnosisConclusion::AllTestsPassed => names::DIAGNOSE_ALL_PASSED,
+            },
+            Some(root),
+            diagnose_start,
+        );
+        self.trace.close(diagnose_span, now + cost.total());
+        self.trace.set_incident(diagnose_span, fault.seq);
+        self.trace
+            .set_value(diagnose_span, outcome.suspects.len() as u64);
         match outcome.conclusion {
             DiagnosisConclusion::FaultyMachines => {
                 evicted.extend(outcome.suspects);
@@ -592,11 +682,20 @@ impl RobustController {
         runtime: &mut TrainingRuntime,
         ckpt: &mut CkptManager,
         standby_pool: &mut dyn StandbyScheduler,
+        root: SpanId,
         evicted: &[MachineId],
         rolled_back: bool,
         cost: &mut FailoverCost,
         mechanism: &mut ResolutionMechanism,
-    ) {
+    ) -> SpanId {
+        let restore_span = self.trace.open(
+            SpanKind::Restore,
+            names::RESTORE,
+            Some(root),
+            now + cost.total(),
+        );
+        self.trace.set_incident(restore_span, fault.seq);
+
         // Evict and blacklist.
         for &m in evicted {
             let over = !fault.culprits.contains(&m);
@@ -608,6 +707,18 @@ impl RobustController {
                     over_eviction: over,
                 },
             );
+            let evict_span = self.trace.instant(
+                SpanKind::Evict,
+                if over {
+                    names::EVICT_OVER
+                } else {
+                    names::EVICT
+                },
+                Some(restore_span),
+                now + cost.total(),
+            );
+            self.trace.set_incident(evict_span, fault.seq);
+            self.trace.set_machine(evict_span, m);
         }
 
         // Scheduling: warm standbys for evictions, in-place restart otherwise.
@@ -633,6 +744,15 @@ impl RobustController {
                         shortfall: scheduling.shortfall,
                     },
                 );
+                let starved_span = self.trace.instant(
+                    SpanKind::Restore,
+                    names::RESTORE_STARVED,
+                    Some(restore_span),
+                    now + cost.total(),
+                );
+                self.trace.set_incident(starved_span, fault.seq);
+                self.trace
+                    .set_value(starved_span, scheduling.shortfall as u64);
             }
             let standbys = cluster.standby_machines();
             for standby in standbys.into_iter().take(evicted.len()) {
@@ -656,6 +776,15 @@ impl RobustController {
                     to_version: runtime.code_version().version,
                 },
             );
+            let rollback_span = self.trace.instant(
+                SpanKind::Restore,
+                names::RESTORE_ROLLBACK,
+                Some(restore_span),
+                now + cost.total(),
+            );
+            self.trace.set_incident(rollback_span, fault.seq);
+            self.trace
+                .set_value(rollback_span, u64::from(runtime.code_version().version));
         } else if self.hot_update.has_pending() {
             if let Some(version) = self.hot_update.apply_pending(now) {
                 runtime.set_code_version(version);
@@ -668,6 +797,15 @@ impl RobustController {
                 if *mechanism == ResolutionMechanism::Reattempt {
                     *mechanism = ResolutionMechanism::HotUpdate;
                 }
+                let update_span = self.trace.instant(
+                    SpanKind::Restore,
+                    names::RESTORE_HOT_UPDATE,
+                    Some(restore_span),
+                    now + cost.total(),
+                );
+                self.trace.set_incident(update_span, fault.seq);
+                self.trace
+                    .set_value(update_span, u64::from(version.version));
             }
         }
 
@@ -692,6 +830,8 @@ impl RobustController {
         }
 
         runtime.clear_fault();
+        self.trace.close(restore_span, now + cost.total());
+        restore_span
     }
 }
 
@@ -922,6 +1062,46 @@ mod tests {
             &entry.event,
             RecorderEvent::MonitorVerdict { issue, .. } if issue.contains("repeat offender")
         )));
+    }
+
+    #[test]
+    fn trace_diagnose_agrees_with_the_controller_verdict() {
+        // The sim-time trace alone must reconstruct what the controller
+        // concluded — mechanism, cause, evictions, and the resolution time.
+        let mut f = fixture();
+        train_some_steps(&mut f, 10);
+        let victim = MachineId(3);
+        f.cluster.machine_mut(victim).gpu_mut(0).mark_lost();
+        let event = fault(
+            FaultKind::GpuUnavailable,
+            RootCause::Infrastructure,
+            vec![victim],
+        );
+        let now = SimTime::from_hours(1);
+        let outcome = f.handle(&event, now);
+
+        let trace = f.controller.trace_snapshot("job");
+        let chain =
+            byterobust_obs::trace_diagnose(&trace, "job", event.seq).expect("incident traced");
+        assert_eq!(chain.symptom, event.kind.symptom_name());
+        assert_eq!(chain.opened_at, now);
+        assert_eq!(chain.closed_at, now + outcome.cost.total());
+        assert_eq!(chain.mechanism, outcome.mechanism);
+        assert_eq!(chain.concluded_cause, outcome.concluded_cause);
+        assert_eq!(chain.evicted, outcome.evicted);
+        // The path starts at the symptom and walks detection → eviction →
+        // resume in sim-time order.
+        assert_eq!(chain.path[0], event.kind.symptom_name());
+        assert_eq!(chain.path[1], byterobust_obs::names::DETECT);
+        assert_eq!(chain.path.last().unwrap(), byterobust_obs::names::RESUME);
+        // The trace also answers targeted queries: which spans touched the
+        // victim machine?
+        let touched =
+            byterobust_obs::trace_get(&trace, &byterobust_obs::TraceQuery::new().machine(victim));
+        assert!(!touched.is_empty());
+        assert!(touched
+            .iter()
+            .all(|s| s.kind == byterobust_obs::SpanKind::Evict));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! handling.
 
 use byterobust_cluster::{FleetMachineRegistry, MachineId, MigrationRecord};
+use byterobust_obs::{names, SpanKind, TraceRecorder};
 use byterobust_recovery::{RestartCostModel, SchedulingOutcome, StandbyScheduler, WarmStandbyPool};
 use byterobust_sim::{SimDuration, SimTime};
 
@@ -339,6 +340,52 @@ impl FleetBroker {
     /// The broker's event log.
     pub fn events(&self) -> &[BrokerEvent] {
         &self.events
+    }
+
+    /// Replays the event log into `recorder` as instant trace spans, one per
+    /// intervention. A broker that never intervened records nothing, so the
+    /// trace of a brokered-but-idle run stays byte-identical to a
+    /// broker-disabled run (the same contract the report's broker section
+    /// keeps).
+    pub fn record_trace(&self, recorder: &mut TraceRecorder) {
+        for event in &self.events {
+            match *event {
+                BrokerEvent::Queued { demand, .. } => {
+                    let span = recorder.instant(
+                        SpanKind::Admission,
+                        names::ADMISSION_HOLD,
+                        None,
+                        SimTime::ZERO,
+                    );
+                    recorder.set_value(span, demand as u64);
+                }
+                BrokerEvent::Admitted { job, at } => {
+                    let span =
+                        recorder.instant(SpanKind::Admission, names::ADMISSION_RELEASE, None, at);
+                    recorder.set_value(span, job as u64);
+                }
+                BrokerEvent::Preempted { at, wait, .. } => {
+                    let span =
+                        recorder.instant(SpanKind::Preemption, names::PREEMPT_SLOT, None, at);
+                    recorder.set_value(span, wait.as_millis());
+                }
+                BrokerEvent::Migrated { machine, at, .. } => {
+                    let span =
+                        recorder.instant(SpanKind::Migration, names::MIGRATE_MACHINE, None, at);
+                    recorder.set_machine(span, machine);
+                }
+                BrokerEvent::Residual { at, machines, .. } => {
+                    let span =
+                        recorder.instant(SpanKind::Admission, names::GRANT_RESIDUAL, None, at);
+                    recorder.set_value(span, machines as u64);
+                }
+                BrokerEvent::ReserveHeld { at, machines, .. } => {
+                    let span =
+                        recorder.instant(SpanKind::Admission, names::GRANT_RESERVE_HELD, None, at);
+                    recorder.set_value(span, machines as u64);
+                }
+            }
+        }
     }
 
     /// Summarizes the run for the fleet report. `None` when the broker was

@@ -7,9 +7,11 @@ use std::fmt::Write as _;
 use byterobust_cluster::{MachineId, MigrationRecord};
 use byterobust_core::JobReport;
 use byterobust_incident::Escalation;
+use byterobust_obs::Trace;
 
 use crate::broker::BrokerSummary;
 use crate::drainer::CompletedSweep;
+use crate::scheduler::SchedulerOps;
 use crate::warehouse::IncidentWarehouse;
 
 /// One job's slice of the fleet run.
@@ -56,6 +58,15 @@ pub struct FleetReport {
     /// deliberately not rendered so `render()` stays comparable across
     /// scheduler implementations by construction.
     pub events_processed: usize,
+    /// The merged sim-time trace: every controller's incident spans under
+    /// its job label, plus the fleet scope (job stepping, warehouse inserts,
+    /// broker interventions). A pure function of the seed; the rendered
+    /// report carries only its span-kind digest.
+    pub trace: Trace,
+    /// Scheduler operation counters. Self-profiling domain — heap and naive
+    /// runs differ here by design — so, like `events_processed`, deliberately
+    /// never rendered.
+    pub scheduler_ops: SchedulerOps,
     /// The indexed cross-job incident warehouse.
     pub warehouse: IncidentWarehouse,
     /// Every completed stress-test sweep, in completion order.
@@ -262,6 +273,25 @@ impl FleetReport {
                 broker.queued_jobs,
                 broker.residual_shortfall_machines,
             );
+        }
+
+        // Observability digest: span-kind counts from the merged sim-time
+        // trace. Strictly sim-time domain (scheduler op counters and other
+        // wall-clock self-profiling stay out), and zero-count kinds are
+        // omitted, so a brokered-but-idle run still renders byte-identically
+        // to a broker-disabled run.
+        if !self.trace.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n-- observability: {} trace span(s) across {} scope(s)",
+                self.trace.spans.len(),
+                self.trace.scopes().len(),
+            );
+            for (kind, count) in self.trace.counts_by_kind() {
+                if count > 0 {
+                    let _ = writeln!(out, "  {}: {}", kind.label(), count);
+                }
+            }
         }
 
         let _ = writeln!(

@@ -19,6 +19,7 @@
 //! stress-test sweeps return cleared machines to the shared pool).
 
 use byterobust_core::{JobConfig, JobExecution, RobustController, SegmentOutcome};
+use byterobust_obs::{names, SpanKind, Trace, TraceRecorder};
 use byterobust_recovery::WarmStandbyPool;
 use byterobust_sim::{SimDuration, SimRng, SimTime};
 use byterobust_trainsim::JobSpec;
@@ -347,6 +348,11 @@ impl FleetRunner {
         let mut machines_confirmed_faulty = 0usize;
         let mut sweeps_completed_in_run = 0usize;
         let mut events_processed = 0usize;
+        // Fleet-scope trace: job stepping, warehouse ingestion, and (replayed
+        // at the end) broker interventions. Per-job incident spans live in
+        // each job's own controller recorder; everything merges into one
+        // canonical document for the report.
+        let mut fleet_trace = TraceRecorder::new();
 
         // The unfinished job with the earliest next event; simultaneous
         // events are broken by the interleave stream inside the scheduler.
@@ -356,6 +362,8 @@ impl FleetRunner {
                 "scheduler picked a job still held in the admission queue"
             );
             events_processed += 1;
+            let step_span = fleet_trace.instant(SpanKind::JobStep, names::JOB_STEP, None, event_at);
+            fleet_trace.set_value(step_span, index as u64);
 
             // Complete sweeps due by this event and return cleared machines
             // to the shared pool before the next job draws from it (each
@@ -389,6 +397,13 @@ impl FleetRunner {
                     broker.note_incident(&dossier.evicted);
                     drainer.dispatch(label, dossier, closed_at);
                     warehouse.insert(label, dossier.clone());
+                    let insert_span = fleet_trace.instant(
+                        SpanKind::Warehouse,
+                        names::WAREHOUSE_INSERT,
+                        Some(step_span),
+                        closed_at,
+                    );
+                    fleet_trace.set_incident(insert_span, seq);
                     // Re-publish the cross-job offender set only when a
                     // machine actually crossed the threshold; each monitor
                     // receives an Arc pointer copy, not a vector clone.
@@ -452,6 +467,23 @@ impl FleetRunner {
             sweeps_completed_post_run += 1;
         }
 
+        // Merge the sim-time trace: the fleet scope (stepping, warehouse,
+        // broker) plus each controller's incident spans under its job label.
+        // Snapshots are taken before `into_report` consumes the executions;
+        // the merge re-sorts into the canonical (start, scope, id) order, so
+        // the result is a pure function of the seed — identical across
+        // schedulers, spill modes, and harness parallelism.
+        broker.record_trace(&mut fleet_trace);
+        let mut trace_parts = vec![fleet_trace.snapshot("fleet")];
+        trace_parts.extend(
+            executions
+                .iter()
+                .zip(self.config.jobs.iter())
+                .map(|(execution, job)| execution.controller().trace_snapshot(&job.label)),
+        );
+        let trace = Trace::merge(trace_parts);
+        let scheduler_ops = scheduler.ops();
+
         let seeds = self.job_seeds();
         let jobs: Vec<FleetJobReport> = executions
             .into_iter()
@@ -479,6 +511,8 @@ impl FleetRunner {
             seed: self.seed,
             jobs,
             events_processed,
+            trace,
+            scheduler_ops,
             warehouse,
             completed_sweeps: drainer.completed().to_vec(),
             drain,

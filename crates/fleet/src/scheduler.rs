@@ -42,6 +42,26 @@ pub enum SchedulerKind {
     NaiveScan,
 }
 
+/// Operation counters for one scheduler instance. Self-profiling data for
+/// the observability plane: heap and naive runs *differ* here by design
+/// (that asymmetry is the point of the comparison), so these counters are
+/// never rendered into the deterministic report — they surface through
+/// `BENCH_obs.json` instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulerOps {
+    /// Successful picks (`next` calls that returned a job).
+    pub picks: u64,
+    /// Keys pushed into the heap (initial seeding, tie losers, reschedules).
+    pub heap_pushes: u64,
+    /// Lazily-invalidated keys dropped on pop (stale time, finished job, or
+    /// adjacent duplicate in the tie gather).
+    pub stale_drops: u64,
+    /// Picks that consumed the tie-break stream (two or more candidates).
+    pub tie_draws: u64,
+    /// Per-job examinations by the naive scan (its O(J)-per-pick cost).
+    pub scan_comparisons: u64,
+}
+
 /// Scheduler state for one fleet run.
 #[derive(Debug, Clone)]
 pub enum EventScheduler {
@@ -57,7 +77,15 @@ impl EventScheduler {
     pub fn new(kind: SchedulerKind, executions: &[JobExecution]) -> Self {
         match kind {
             SchedulerKind::Heap => EventScheduler::Heap(HeapScheduler::new(executions)),
-            SchedulerKind::NaiveScan => EventScheduler::NaiveScan(NaiveScanScheduler),
+            SchedulerKind::NaiveScan => EventScheduler::NaiveScan(NaiveScanScheduler::default()),
+        }
+    }
+
+    /// The operation counters accumulated so far.
+    pub fn ops(&self) -> SchedulerOps {
+        match self {
+            EventScheduler::Heap(heap) => heap.ops,
+            EventScheduler::NaiveScan(scan) => scan.ops,
         }
     }
 
@@ -92,20 +120,27 @@ pub struct HeapScheduler {
     /// Scratch list of tied candidates, reused across picks so the hot loop
     /// allocates nothing after warm-up.
     tied: Vec<(SimTime, usize)>,
+    /// Self-profiling counters (never rendered; see [`SchedulerOps`]).
+    ops: SchedulerOps,
 }
 
 impl HeapScheduler {
     /// Seeds the heap with every unfinished job's next-event time.
     pub fn new(executions: &[JobExecution]) -> Self {
-        let heap = executions
+        let heap: BinaryHeap<Reverse<(SimTime, usize)>> = executions
             .iter()
             .enumerate()
             .filter(|(_, execution)| !execution.is_finished())
             .map(|(i, execution)| Reverse((execution.next_event_at(), i)))
             .collect();
+        let ops = SchedulerOps {
+            heap_pushes: heap.len() as u64,
+            ..SchedulerOps::default()
+        };
         HeapScheduler {
             heap,
             tied: Vec::new(),
+            ops,
         }
     }
 
@@ -125,6 +160,7 @@ impl HeapScheduler {
             if Self::is_live(executions, at, index) {
                 break (at, index);
             }
+            self.ops.stale_drops += 1;
         };
 
         // Gather every live peer tied on the same time. `Reverse<(SimTime,
@@ -144,12 +180,15 @@ impl HeapScheduler {
             // drop it so the tie list holds each candidate exactly once.
             if Self::is_live(executions, at, index) && self.tied.last() != Some(&(at, index)) {
                 self.tied.push((at, index));
+            } else {
+                self.ops.stale_drops += 1;
             }
         }
 
         let chosen = if self.tied.len() == 1 {
             0
         } else {
+            self.ops.tie_draws += 1;
             tie_rng.index(self.tied.len())
         };
         let (_, index) = self.tied[chosen];
@@ -158,8 +197,10 @@ impl HeapScheduler {
         for (i, &(at, peer)) in self.tied.iter().enumerate() {
             if i != chosen {
                 self.heap.push(Reverse((at, peer)));
+                self.ops.heap_pushes += 1;
             }
         }
+        self.ops.picks += 1;
         Some((event_at, index))
     }
 
@@ -167,6 +208,7 @@ impl HeapScheduler {
         if !executions[index].is_finished() {
             self.heap
                 .push(Reverse((executions[index].next_event_at(), index)));
+            self.ops.heap_pushes += 1;
         }
     }
 }
@@ -174,8 +216,11 @@ impl HeapScheduler {
 /// The retained O(J) reference: scan every job per pick. Semantically the
 /// original `FleetRunner::run` selection loop, kept verbatim so the oracle
 /// tests can pin the heap scheduler byte-identical against it.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NaiveScanScheduler;
+#[derive(Debug, Clone, Default)]
+pub struct NaiveScanScheduler {
+    /// Self-profiling counters (never rendered; see [`SchedulerOps`]).
+    ops: SchedulerOps,
+}
 
 impl NaiveScanScheduler {
     fn next(
@@ -186,6 +231,7 @@ impl NaiveScanScheduler {
         let mut earliest: Option<SimTime> = None;
         let mut tied: Vec<usize> = Vec::new();
         for (i, execution) in executions.iter().enumerate() {
+            self.ops.scan_comparisons += 1;
             if execution.is_finished() {
                 continue;
             }
@@ -207,8 +253,10 @@ impl NaiveScanScheduler {
         let index = if tied.len() == 1 {
             tied[0]
         } else {
+            self.ops.tie_draws += 1;
             tied[tie_rng.index(tied.len())]
         };
+        self.ops.picks += 1;
         Some((event_at, index))
     }
 }
@@ -242,6 +290,17 @@ mod tests {
             heap.reschedule(index, &execs);
         }
         assert!(execs.iter().all(|e| e.is_finished()));
+        // Both schedulers made the same picks and drew the tie stream the
+        // same number of times; only the per-implementation cost counters
+        // (heap pushes vs. scan comparisons) differ.
+        let (heap_ops, naive_ops) = (heap.ops(), naive.ops());
+        assert_eq!(heap_ops.picks, naive_ops.picks);
+        assert!(heap_ops.picks > 0);
+        assert_eq!(heap_ops.tie_draws, naive_ops.tie_draws);
+        assert_eq!(heap_ops.scan_comparisons, 0, "the heap never scans");
+        assert!(naive_ops.scan_comparisons >= naive_ops.picks * 4);
+        assert_eq!(naive_ops.heap_pushes, 0, "the scan never pushes");
+        assert!(heap_ops.heap_pushes > 0);
     }
 
     #[test]

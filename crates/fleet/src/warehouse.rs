@@ -55,9 +55,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use std::sync::atomic::AtomicU64;
+
 use byterobust_cluster::{FaultCategory, FaultKind, MachineId};
 use byterobust_incident::codec::{check_format, CodecError, Encode, JsonValue, FORMAT_VERSION};
 use byterobust_incident::{IncidentDossier, IncidentQuery, IncidentStore, Postmortem, Severity};
+use byterobust_obs::{HistogramSnapshot, LatencyHistogram};
 use byterobust_sim::{SimDuration, SimTime};
 
 /// Format header of one spilled shard segment file.
@@ -103,6 +106,10 @@ pub struct SpillStats {
     pub spilled_dossiers: usize,
     /// Shards currently spilled.
     pub spilled_shards: usize,
+    /// Bytes written to segment files over the warehouse's lifetime.
+    pub spill_bytes_written: u64,
+    /// Bytes read back from segment files by fault-ins.
+    pub fault_in_bytes: u64,
 }
 
 /// Reference to one dossier: shard index plus the dossier's seq within it
@@ -174,9 +181,19 @@ pub struct IncidentWarehouse {
     touch_clock: u64,
     /// Segment files written so far.
     segments_written: usize,
+    /// Bytes written to segment files so far.
+    spill_bytes_written: u64,
     /// Fault-ins performed by the read path (atomic: reads hold `&self`,
     /// and reports are shared across harness threads).
     fault_ins: AtomicUsize,
+    /// Bytes read back from segment files by fault-ins (atomic: read path).
+    fault_in_bytes: AtomicU64,
+    /// Wall-clock latency of queries answered entirely from resident shards.
+    /// Self-profiling domain: never rendered into the deterministic report.
+    query_hot_nanos: LatencyHistogram,
+    /// Wall-clock latency of queries that faulted at least one spilled shard
+    /// back in.
+    query_faulted_nanos: LatencyHistogram,
 }
 
 impl Clone for IncidentWarehouse {
@@ -215,7 +232,11 @@ impl Clone for IncidentWarehouse {
             machine_scratch: Vec::new(),
             touch_clock: self.touch_clock,
             segments_written: self.segments_written,
+            spill_bytes_written: self.spill_bytes_written,
             fault_ins: AtomicUsize::new(self.fault_ins.load(Ordering::Relaxed)),
+            fault_in_bytes: AtomicU64::new(self.fault_in_bytes.load(Ordering::Relaxed)),
+            query_hot_nanos: self.query_hot_nanos.clone(),
+            query_faulted_nanos: self.query_faulted_nanos.clone(),
         }
     }
 }
@@ -248,7 +269,11 @@ impl IncidentWarehouse {
             machine_scratch: Vec::new(),
             touch_clock: 0,
             segments_written: 0,
+            spill_bytes_written: 0,
             fault_ins: AtomicUsize::new(0),
+            fault_in_bytes: AtomicU64::new(0),
+            query_hot_nanos: LatencyHistogram::new(),
+            query_faulted_nanos: LatencyHistogram::new(),
         }
     }
 
@@ -267,6 +292,8 @@ impl IncidentWarehouse {
         let mut stats = SpillStats {
             segments_written: self.segments_written,
             fault_ins: self.fault_ins.load(Ordering::Relaxed),
+            spill_bytes_written: self.spill_bytes_written,
+            fault_in_bytes: self.fault_in_bytes.load(Ordering::Relaxed),
             ..SpillStats::default()
         };
         for shard in &self.shards {
@@ -315,6 +342,14 @@ impl IncidentWarehouse {
         let shard = &self.shards[index];
         if shard.resident.get().is_none() {
             self.fault_ins.fetch_add(1, Ordering::Relaxed);
+            if let Some(len) = shard
+                .segment
+                .as_ref()
+                .and_then(|path| std::fs::metadata(path).ok())
+                .map(|meta| meta.len())
+            {
+                self.fault_in_bytes.fetch_add(len, Ordering::Relaxed);
+            }
         }
         shard.resident.get_or_init(|| {
             let path = shard
@@ -399,6 +434,7 @@ impl IncidentWarehouse {
                 .get()
                 .expect("only resident shards are spilled");
             let document = render_segment(&shard.label, store);
+            self.spill_bytes_written += document.len() as u64;
             std::fs::write(&path, document)
                 .unwrap_or_else(|err| panic!("cannot write segment {}: {err}", path.display()));
             self.segments_written += 1;
@@ -601,6 +637,24 @@ impl IncidentWarehouse {
     /// candidates are merged, nothing is re-sorted. Spilled shards holding
     /// matching dossiers are faulted back in transparently.
     pub fn query(&self, query: &IncidentQuery) -> Vec<WarehouseHit<'_>> {
+        // Wall-clock self-profiling wrapper: time the indexed path and file
+        // the latency under "hot" (answered entirely from resident shards) or
+        // "faulted" (at least one spilled shard came back in). Results are
+        // untouched; the timing never reaches the deterministic report.
+        let faults_before = self.fault_ins.load(Ordering::Relaxed);
+        let started = std::time::Instant::now();
+        let hits = self.query_indexed(query);
+        let nanos = started.elapsed().as_nanos() as u64;
+        if self.fault_ins.load(Ordering::Relaxed) > faults_before {
+            self.query_faulted_nanos.record(nanos);
+        } else {
+            self.query_hot_nanos.record(nanos);
+        }
+        hits
+    }
+
+    /// The untimed indexed query path (see [`IncidentWarehouse::query`]).
+    fn query_indexed(&self, query: &IncidentQuery) -> Vec<WarehouseHit<'_>> {
         let keys: Vec<DossierKey> = if let Some(machine) = query.machine {
             self.by_machine.get(&machine).cloned().unwrap_or_default()
         } else if let Some(category) = query.category {
@@ -629,6 +683,18 @@ impl IncidentWarehouse {
             self.merge_sorted((0..self.shards.len()).map(|s| self.shard_keys(s)).collect())
         };
         self.hits(keys, query)
+    }
+
+    /// Wall-clock query-latency histograms in nanoseconds: `(hot, faulted)`,
+    /// where hot queries were answered entirely from resident shards and
+    /// faulted queries brought at least one spilled shard back in.
+    /// Self-profiling domain — never rendered into the deterministic report;
+    /// surfaced through `BENCH_obs.json`.
+    pub fn query_latency(&self) -> (HistogramSnapshot, HistogramSnapshot) {
+        (
+            self.query_hot_nanos.snapshot(),
+            self.query_faulted_nanos.snapshot(),
+        )
     }
 
     /// Incidents involving a machine, across every job (the cross-job history
@@ -1144,6 +1210,17 @@ mod tests {
             spilled.spill_stats().fault_ins >= 1,
             "queries faulted spilled shards back in"
         );
+        // Self-profiling side-band: bytes moved both ways, and every query
+        // above landed in exactly one of the two latency histograms.
+        let stats = spilled.spill_stats();
+        assert!(stats.spill_bytes_written > 0);
+        assert!(stats.fault_in_bytes > 0);
+        let (hot, faulted) = spilled.query_latency();
+        assert!(faulted.count() >= 1, "some query faulted a shard in");
+        assert!(hot.count() + faulted.count() >= queries.len() as u64 * 2);
+        let (memory_hot, memory_faulted) = memory.query_latency();
+        assert_eq!(memory_faulted.count(), 0, "nothing spills in memory mode");
+        assert!(memory_hot.count() >= queries.len() as u64);
         // Full-content identity, not just ids.
         assert_eq!(spilled.render_digest(), memory.render_digest());
         let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,523 @@
+//! The trace query surface: filter a finished [`Trace`] and reconstruct
+//! incident cause chains from spans alone.
+//!
+//! [`trace_get`] is the generic filter (scope, kind, incident, machine,
+//! sim-time window — all conjunctive). [`trace_diagnose`] is the opinionated
+//! walker: given one incident's spans it rebuilds the detection → diagnosis
+//! → recovery path and re-derives the resolution mechanism and concluded
+//! root cause *without consulting the incident store*. The fleet conformance
+//! tests then assert the re-derivation agrees with the store's recorded
+//! classification for every incident in a drill — the observability analogue
+//! of the codec round-trip oracle.
+//!
+//! One deliberate deviation from the agent-os fixture shape in SNIPPETS.md:
+//! incident sequence numbers are per-job, so they collide across jobs in a
+//! fleet trace. `trace_diagnose` therefore keys on `(scope, seq)` rather
+//! than a bare incident id; [`trace_diagnose_all`] walks every incident root
+//! in the trace.
+
+use byterobust_cluster::{MachineId, RootCause};
+use byterobust_incident::ResolutionMechanism;
+use byterobust_sim::SimTime;
+
+use crate::trace::{names, SpanKind, Trace, TraceSpan};
+
+/// A conjunctive span filter. `None` fields match everything.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceQuery {
+    /// Only spans recorded by this scope (job label, or `fleet`).
+    pub scope: Option<String>,
+    /// Only spans of this kind.
+    pub kind: Option<SpanKind>,
+    /// Only spans tagged with this incident sequence number.
+    pub incident: Option<u64>,
+    /// Only spans tagged with this machine.
+    pub machine: Option<MachineId>,
+    /// Only spans overlapping `[from, ..]`.
+    pub from: Option<SimTime>,
+    /// Only spans overlapping `[.., until]`.
+    pub until: Option<SimTime>,
+}
+
+impl TraceQuery {
+    /// The match-everything query.
+    pub fn new() -> TraceQuery {
+        TraceQuery::default()
+    }
+
+    /// Restricts to one recording scope.
+    pub fn scope(mut self, scope: &str) -> TraceQuery {
+        self.scope = Some(scope.to_string());
+        self
+    }
+
+    /// Restricts to one span kind.
+    pub fn kind(mut self, kind: SpanKind) -> TraceQuery {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Restricts to spans tagged with one incident.
+    pub fn incident(mut self, seq: u64) -> TraceQuery {
+        self.incident = Some(seq);
+        self
+    }
+
+    /// Restricts to spans tagged with one machine.
+    pub fn machine(mut self, machine: MachineId) -> TraceQuery {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// Restricts to spans overlapping the window `[from, until]` (inclusive
+    /// on both ends; an instant event at either bound matches).
+    pub fn window(mut self, from: SimTime, until: SimTime) -> TraceQuery {
+        self.from = Some(from);
+        self.until = Some(until);
+        self
+    }
+
+    /// Whether one span satisfies every set filter.
+    pub fn matches(&self, span: &TraceSpan) -> bool {
+        if let Some(scope) = &self.scope {
+            if &span.scope != scope {
+                return false;
+            }
+        }
+        if let Some(kind) = self.kind {
+            if span.kind != kind {
+                return false;
+            }
+        }
+        if let Some(seq) = self.incident {
+            if span.incident != Some(seq) {
+                return false;
+            }
+        }
+        if let Some(machine) = self.machine {
+            if span.machine != Some(machine) {
+                return false;
+            }
+        }
+        if let Some(from) = self.from {
+            if span.end < from {
+                return false;
+            }
+        }
+        if let Some(until) = self.until {
+            if span.start > until {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Filters a trace, preserving canonical span order.
+pub fn trace_get<'a>(trace: &'a Trace, query: &TraceQuery) -> Vec<&'a TraceSpan> {
+    trace
+        .spans
+        .iter()
+        .filter(|span| query.matches(span))
+        .collect()
+}
+
+/// One incident's story, reconstructed from spans alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CauseChain {
+    /// The incident sequence number (per-job; see module docs).
+    pub incident: u64,
+    /// The job scope the incident happened in.
+    pub scope: String,
+    /// The symptom, i.e. the incident root span's name.
+    pub symptom: String,
+    /// When the fault fired.
+    pub opened_at: SimTime,
+    /// When training resumed.
+    pub closed_at: SimTime,
+    /// The span names on the detection → diagnosis → recovery path, in
+    /// sim-time order.
+    pub path: Vec<String>,
+    /// Machines evicted while resolving this incident.
+    pub evicted: Vec<MachineId>,
+    /// The resolution mechanism, re-derived from the path.
+    pub mechanism: ResolutionMechanism,
+    /// The concluded root cause, re-derived from the mechanism and path.
+    pub concluded_cause: RootCause,
+}
+
+/// Reconstructs the cause chain for incident `seq` of job `scope`, or `None`
+/// if the trace has no such incident root.
+pub fn trace_diagnose(trace: &Trace, scope: &str, seq: u64) -> Option<CauseChain> {
+    let root = trace.spans.iter().find(|span| {
+        span.kind == SpanKind::Incident && span.scope == scope && span.incident == Some(seq)
+    })?;
+    Some(diagnose_from_root(trace, root))
+}
+
+/// Reconstructs the cause chain for every incident root in the trace, in
+/// canonical span order.
+pub fn trace_diagnose_all(trace: &Trace) -> Vec<CauseChain> {
+    trace
+        .spans
+        .iter()
+        .filter(|span| span.kind == SpanKind::Incident)
+        .map(|root| diagnose_from_root(trace, root))
+        .collect()
+}
+
+fn diagnose_from_root(trace: &Trace, root: &TraceSpan) -> CauseChain {
+    // Collect the root plus all transitive descendants in the same scope.
+    // Parents always precede children in canonical order (a child starts no
+    // earlier and was recorded later), so one forward pass suffices.
+    let mut member_ids: Vec<u64> = vec![root.id];
+    let mut chain: Vec<&TraceSpan> = vec![root];
+    for span in &trace.spans {
+        if span.scope != root.scope {
+            continue;
+        }
+        if let Some(parent) = span.parent {
+            if member_ids.contains(&parent) && !member_ids.contains(&span.id) {
+                member_ids.push(span.id);
+                chain.push(span);
+            }
+        }
+    }
+    chain.sort_by_key(|span| (span.start, span.id));
+
+    let has = |name: &str| chain.iter().any(|span| span.name == name);
+    let evicted: Vec<MachineId> = chain
+        .iter()
+        .filter(|span| span.kind == SpanKind::Evict)
+        .filter_map(|span| span.machine)
+        .collect();
+
+    // Re-derive the resolution mechanism from the path shape. Order matters:
+    // escalation spans (replay, rollback) override the earlier attempts that
+    // failed to resolve the incident, mirroring the controller's own
+    // escalation ladder.
+    let mechanism = if has(names::REPLAY_HIT) {
+        ResolutionMechanism::DualPhaseReplay
+    } else if has(names::REPLAY_MISS) && !evicted.is_empty() {
+        // Replay found nothing reproducible; the controller blamed the
+        // historical suspects and stop-time-evicted them.
+        ResolutionMechanism::StopTimeEviction
+    } else if has(names::RESTORE_ROLLBACK) {
+        ResolutionMechanism::Rollback
+    } else if has(names::ANALYZE_OUTLIERS) {
+        ResolutionMechanism::AnalyzerEviction
+    } else if has(names::DIAGNOSE_FAULTY_MACHINES) {
+        ResolutionMechanism::StopTimeEviction
+    } else if !evicted.is_empty() {
+        ResolutionMechanism::ImmediateEviction
+    } else if has(names::RESTORE_HOT_UPDATE) {
+        ResolutionMechanism::HotUpdate
+    } else {
+        ResolutionMechanism::Reattempt
+    };
+
+    // Re-derive the concluded cause. The controller concludes *before* a
+    // pending hot update merges into a reattempt restart, so a HotUpdate
+    // mechanism with diagnosis spans underneath was concluded Transient; a
+    // bare hot update (manual restart) was concluded Human.
+    let diagnosed = chain
+        .iter()
+        .any(|span| span.kind == SpanKind::Diagnose || span.kind == SpanKind::Analyze);
+    let concluded_cause = match mechanism {
+        ResolutionMechanism::Rollback => RootCause::UserCode,
+        ResolutionMechanism::Reattempt => RootCause::Transient,
+        ResolutionMechanism::HotUpdate => {
+            if diagnosed {
+                RootCause::Transient
+            } else {
+                RootCause::Human
+            }
+        }
+        ResolutionMechanism::ImmediateEviction
+        | ResolutionMechanism::StopTimeEviction
+        | ResolutionMechanism::DualPhaseReplay
+        | ResolutionMechanism::AnalyzerEviction => RootCause::Infrastructure,
+    };
+
+    CauseChain {
+        incident: root.incident.unwrap_or(u64::MAX),
+        scope: root.scope.clone(),
+        symptom: root.name.clone(),
+        opened_at: root.start,
+        closed_at: root.end,
+        path: chain.iter().map(|span| span.name.clone()).collect(),
+        evicted,
+        mechanism,
+        concluded_cause,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecorder;
+
+    /// Builds a two-incident, two-scope trace by hand:
+    /// - job-a incident 0: explicit fault, stop-time diagnosis → eviction.
+    /// - job-a incident 1: implicit hang, replay escalation → replay hit.
+    /// - fleet scope: job steps and a warehouse insert.
+    fn drill_trace() -> Trace {
+        let mut job = TraceRecorder::new();
+
+        let root0 = job.open(
+            SpanKind::Incident,
+            "ecc-error",
+            None,
+            SimTime::from_secs(100),
+        );
+        job.set_incident(root0, 0);
+        let detect = job.open(
+            SpanKind::Detect,
+            names::DETECT,
+            Some(root0),
+            SimTime::from_secs(100),
+        );
+        job.close(detect, SimTime::from_secs(110));
+        let diag = job.open(
+            SpanKind::Diagnose,
+            names::DIAGNOSE_FAULTY_MACHINES,
+            Some(root0),
+            SimTime::from_secs(110),
+        );
+        job.close(diag, SimTime::from_secs(400));
+        let restore = job.open(
+            SpanKind::Restore,
+            names::RESTORE,
+            Some(root0),
+            SimTime::from_secs(400),
+        );
+        let evict = job.instant(
+            SpanKind::Evict,
+            names::EVICT,
+            Some(restore),
+            SimTime::from_secs(400),
+        );
+        job.set_machine(evict, MachineId(17));
+        job.set_incident(evict, 0);
+        job.instant(
+            SpanKind::Restore,
+            names::RESUME,
+            Some(restore),
+            SimTime::from_secs(900),
+        );
+        job.close(restore, SimTime::from_secs(900));
+        job.close(root0, SimTime::from_secs(900));
+
+        let root1 = job.open(
+            SpanKind::Incident,
+            "job-hang",
+            None,
+            SimTime::from_secs(5_000),
+        );
+        job.set_incident(root1, 1);
+        let analyze = job.open(
+            SpanKind::Analyze,
+            names::ANALYZE_NO_OUTLIERS,
+            Some(root1),
+            SimTime::from_secs(5_000),
+        );
+        job.close(analyze, SimTime::from_secs(5_100));
+        let diag = job.open(
+            SpanKind::Diagnose,
+            names::DIAGNOSE_ALL_PASSED,
+            Some(root1),
+            SimTime::from_secs(5_100),
+        );
+        job.close(diag, SimTime::from_secs(5_400));
+        let replay = job.open(
+            SpanKind::Replay,
+            names::REPLAY_HIT,
+            Some(root1),
+            SimTime::from_secs(5_400),
+        );
+        job.close(replay, SimTime::from_secs(6_000));
+        let restore = job.open(
+            SpanKind::Restore,
+            names::RESTORE,
+            Some(root1),
+            SimTime::from_secs(6_000),
+        );
+        let evict = job.instant(
+            SpanKind::Evict,
+            names::EVICT,
+            Some(restore),
+            SimTime::from_secs(6_000),
+        );
+        job.set_machine(evict, MachineId(3));
+        job.set_incident(evict, 1);
+        job.close(restore, SimTime::from_secs(6_500));
+        job.close(root1, SimTime::from_secs(6_500));
+
+        let mut fleet = TraceRecorder::new();
+        let step = fleet.open(SpanKind::JobStep, names::JOB_STEP, None, SimTime::ZERO);
+        fleet.close(step, SimTime::from_secs(900));
+        let insert = fleet.instant(
+            SpanKind::Warehouse,
+            names::WAREHOUSE_INSERT,
+            None,
+            SimTime::from_secs(900),
+        );
+        fleet.set_value(insert, 0);
+
+        Trace::merge([job.snapshot("job-a"), fleet.snapshot("fleet")])
+    }
+
+    #[test]
+    fn trace_get_filters_conjunctively() {
+        let trace = drill_trace();
+        let all = trace_get(&trace, &TraceQuery::new());
+        assert_eq!(all.len(), trace.spans.len());
+
+        let fleet_only = trace_get(&trace, &TraceQuery::new().scope("fleet"));
+        assert_eq!(fleet_only.len(), 2);
+
+        let evictions = trace_get(&trace, &TraceQuery::new().kind(SpanKind::Evict));
+        assert_eq!(evictions.len(), 2);
+
+        let incident1 = trace_get(&trace, &TraceQuery::new().kind(SpanKind::Evict).incident(1));
+        assert_eq!(incident1.len(), 1);
+        assert_eq!(incident1[0].machine, Some(MachineId(3)));
+
+        let by_machine = trace_get(&trace, &TraceQuery::new().machine(MachineId(17)));
+        assert_eq!(by_machine.len(), 1);
+
+        // Window overlap: the first incident only.
+        let early = trace_get(
+            &trace,
+            &TraceQuery::new()
+                .kind(SpanKind::Incident)
+                .window(SimTime::ZERO, SimTime::from_secs(1_000)),
+        );
+        assert_eq!(early.len(), 1);
+        assert_eq!(early[0].incident, Some(0));
+    }
+
+    #[test]
+    fn diagnose_walks_the_stop_time_chain() {
+        let trace = drill_trace();
+        let chain = trace_diagnose(&trace, "job-a", 0).expect("incident 0 exists");
+        assert_eq!(chain.symptom, "ecc-error");
+        assert_eq!(chain.opened_at, SimTime::from_secs(100));
+        assert_eq!(chain.closed_at, SimTime::from_secs(900));
+        assert_eq!(
+            chain.path,
+            vec![
+                "ecc-error",
+                names::DETECT,
+                names::DIAGNOSE_FAULTY_MACHINES,
+                names::RESTORE,
+                names::EVICT,
+                names::RESUME,
+            ]
+        );
+        assert_eq!(chain.evicted, vec![MachineId(17)]);
+        assert_eq!(chain.mechanism, ResolutionMechanism::StopTimeEviction);
+        assert_eq!(chain.concluded_cause, RootCause::Infrastructure);
+    }
+
+    #[test]
+    fn diagnose_prefers_escalation_over_earlier_attempts() {
+        let trace = drill_trace();
+        let chain = trace_diagnose(&trace, "job-a", 1).expect("incident 1 exists");
+        // The replay hit outranks the all-passed diagnosis that preceded it.
+        assert_eq!(chain.mechanism, ResolutionMechanism::DualPhaseReplay);
+        assert_eq!(chain.concluded_cause, RootCause::Infrastructure);
+        assert_eq!(chain.evicted, vec![MachineId(3)]);
+    }
+
+    #[test]
+    fn diagnose_all_finds_every_incident_and_nothing_else() {
+        let trace = drill_trace();
+        let chains = trace_diagnose_all(&trace);
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0].incident, 0);
+        assert_eq!(chains[1].incident, 1);
+        assert!(trace_diagnose(&trace, "job-a", 99).is_none());
+        assert!(trace_diagnose(&trace, "job-b", 0).is_none());
+    }
+
+    #[test]
+    fn hot_update_cause_depends_on_diagnosis_presence() {
+        // Manual restart: bare hot-update restore, no diagnosis → Human.
+        let mut job = TraceRecorder::new();
+        let root = job.open(SpanKind::Incident, "manual-restart", None, SimTime::ZERO);
+        job.set_incident(root, 0);
+        let restore = job.open(SpanKind::Restore, names::RESTORE, Some(root), SimTime::ZERO);
+        job.instant(
+            SpanKind::Restore,
+            names::RESTORE_HOT_UPDATE,
+            Some(restore),
+            SimTime::from_secs(60),
+        );
+        job.close(restore, SimTime::from_secs(60));
+        job.close(root, SimTime::from_secs(60));
+        let chain = trace_diagnose(&job.snapshot("job-a"), "job-a", 0).unwrap();
+        assert_eq!(chain.mechanism, ResolutionMechanism::HotUpdate);
+        assert_eq!(chain.concluded_cause, RootCause::Human);
+
+        // Merged hot update: the reattempt diagnosis is underneath, so the
+        // controller concluded Transient before the merge upgraded it.
+        let mut job = TraceRecorder::new();
+        let root = job.open(SpanKind::Incident, "nccl-timeout", None, SimTime::ZERO);
+        job.set_incident(root, 0);
+        let diag = job.open(
+            SpanKind::Diagnose,
+            names::DIAGNOSE_ALL_PASSED,
+            Some(root),
+            SimTime::ZERO,
+        );
+        job.close(diag, SimTime::from_secs(300));
+        let restore = job.open(
+            SpanKind::Restore,
+            names::RESTORE,
+            Some(root),
+            SimTime::from_secs(300),
+        );
+        job.instant(
+            SpanKind::Restore,
+            names::RESTORE_HOT_UPDATE,
+            Some(restore),
+            SimTime::from_secs(300),
+        );
+        job.close(restore, SimTime::from_secs(600));
+        job.close(root, SimTime::from_secs(600));
+        let chain = trace_diagnose(&job.snapshot("job-a"), "job-a", 0).unwrap();
+        assert_eq!(chain.mechanism, ResolutionMechanism::HotUpdate);
+        assert_eq!(chain.concluded_cause, RootCause::Transient);
+    }
+
+    #[test]
+    fn rollback_outranks_immediate_evictions() {
+        // A user-code fault where the monitor first evicted a flagged
+        // machine, then the escalation rolled back: the controller's final
+        // mechanism is Rollback, and so is the walker's.
+        let mut job = TraceRecorder::new();
+        let root = job.open(SpanKind::Incident, "loss-spike", None, SimTime::ZERO);
+        job.set_incident(root, 0);
+        let restore = job.open(SpanKind::Restore, names::RESTORE, Some(root), SimTime::ZERO);
+        let evict = job.instant(
+            SpanKind::Evict,
+            names::EVICT_OVER,
+            Some(restore),
+            SimTime::ZERO,
+        );
+        job.set_machine(evict, MachineId(9));
+        job.instant(
+            SpanKind::Restore,
+            names::RESTORE_ROLLBACK,
+            Some(restore),
+            SimTime::from_secs(100),
+        );
+        job.close(restore, SimTime::from_secs(200));
+        job.close(root, SimTime::from_secs(200));
+        let chain = trace_diagnose(&job.snapshot("job-a"), "job-a", 0).unwrap();
+        assert_eq!(chain.mechanism, ResolutionMechanism::Rollback);
+        assert_eq!(chain.concluded_cause, RootCause::UserCode);
+        assert_eq!(chain.evicted, vec![MachineId(9)]);
+    }
+}

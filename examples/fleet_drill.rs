@@ -20,6 +20,11 @@
 //!     # additionally export the warehouse to out/warehouse.json, re-import
 //!     # it, render both digests (out/warehouse_digest*.txt), and assert
 //!     # they are byte-identical
+//! BYTEROBUST_TRACE_DIR=out cargo run --release --example fleet_drill
+//!     # additionally dump the merged sim-time trace to out/trace.json (the
+//!     # in-repo codec, asserted an import fixed point) and
+//!     # out/trace_chrome.json (load it in chrome://tracing / Perfetto);
+//!     # stdout stays byte-identical, telemetry goes to stderr
 //! ```
 
 use byterobust::prelude::*;
@@ -77,6 +82,30 @@ fn main() {
             stats.fault_ins,
             stats.resident_dossiers,
             stats.spilled_dossiers,
+        );
+    }
+
+    if let Some(dir) = std::env::var_os("BYTEROBUST_TRACE_DIR").map(std::path::PathBuf::from) {
+        std::fs::create_dir_all(&dir).expect("create BYTEROBUST_TRACE_DIR");
+        let exported = report.trace.export_json();
+        let reimported =
+            Trace::import_json(&exported).expect("the drill's own trace must re-import");
+        assert_eq!(
+            reimported.export_json(),
+            exported,
+            "trace export→import→export must be a fixed point"
+        );
+        let chrome = report.trace.to_chrome_json();
+        std::fs::write(dir.join("trace.json"), &exported).expect("write trace.json");
+        std::fs::write(dir.join("trace_chrome.json"), &chrome).expect("write trace_chrome.json");
+        // Trace telemetry goes to stderr only: stdout stays byte-identical.
+        eprintln!(
+            "trace export: {} span(s) across {} scope(s), {} bytes ({} bytes Chrome) -> {}",
+            report.trace.spans.len(),
+            report.trace.scopes().len(),
+            exported.len(),
+            chrome.len(),
+            dir.display()
         );
     }
 

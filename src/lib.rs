@@ -28,6 +28,7 @@ pub use byterobust_cluster as cluster;
 pub use byterobust_core as core;
 pub use byterobust_fleet as fleet;
 pub use byterobust_incident as incident;
+pub use byterobust_obs as obs;
 pub use byterobust_parallelism as parallelism;
 pub use byterobust_recovery as recovery;
 pub use byterobust_sim as sim;
@@ -43,6 +44,10 @@ pub mod prelude {
     pub use byterobust_core::prelude::*;
     pub use byterobust_fleet::prelude::*;
     pub use byterobust_incident::prelude::*;
+    pub use byterobust_obs::{
+        trace_diagnose, trace_diagnose_all, trace_get, MetricsRegistry, SpanKind, Trace,
+        TraceQuery, TraceRecorder,
+    };
     pub use byterobust_parallelism::prelude::*;
     pub use byterobust_recovery::prelude::*;
     pub use byterobust_sim::prelude::*;
