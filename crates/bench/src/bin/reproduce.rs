@@ -20,8 +20,9 @@
 //! `$BYTEROBUST_BENCH_DIR`, default `.`): `BENCH_reproduce.json` with
 //! per-section and total wall times, `BENCH_fleet.json` with the
 //! `large_drill` scheduler-throughput measurement, and `BENCH_obs.json`
-//! with the observability plane's self-profiling (trace codec timings plus
-//! the full wall-clock metrics registry). `ci/bench_budget.json` + the
+//! with the observability plane's self-profiling (trace codec timings, the
+//! alerting plane's lead-time scorecards, plus the full wall-clock metrics
+//! registry). `ci/bench_budget.json` + the
 //! `bench_guard` binary turn the first into a CI regression gate.
 //!
 //! Setting `BYTEROBUST_PERSIST_DIR=<dir>` additionally writes the incident
@@ -50,7 +51,7 @@ fn main() {
     // The heavy simulations are independent (each owns its forked seed), so
     // they run concurrently with the cheap closed-form sections and with each
     // other; printing happens in document order below.
-    let (cheap, fig2, fleet_panel, broker_panel, persistence, obs, production) =
+    let (cheap, fig2, fleet_panel, broker_panel, persistence, obs, alerts, production) =
         std::thread::scope(|scope| {
             let spawn_or_inline = |f: fn() -> String| {
                 if serial {
@@ -71,6 +72,11 @@ fn main() {
                 None
             } else {
                 Some(scope.spawn(|| timed(experiments::obs_panel)))
+            };
+            let alerts = if serial {
+                None
+            } else {
+                Some(scope.spawn(|| timed(experiments::alerts_panel)))
             };
             let production = if serial {
                 None
@@ -113,6 +119,10 @@ fn main() {
                 Some(handle) => handle.join().expect("experiment thread panicked"),
                 None => timed(experiments::obs_panel),
             };
+            let alerts = match alerts {
+                Some(handle) => handle.join().expect("experiment thread panicked"),
+                None => timed(experiments::alerts_panel),
+            };
             let production = match production {
                 Some(handle) => handle.join().expect("experiment thread panicked"),
                 None => timed(experiments::production_reports),
@@ -124,6 +134,7 @@ fn main() {
                 broker_panel,
                 persistence,
                 obs,
+                alerts,
                 production,
             )
         });
@@ -175,6 +186,16 @@ fn main() {
     perf.record("obs_trace_import", obs_stats.trace_import_secs);
     perf.record("obs_trace_diagnose", obs_stats.trace_diagnose_secs);
 
+    // Alerting: the declarative rule engine on the large drill, scored for
+    // lead time against ground truth across all three built-in rule sets
+    // (determinism and trade-off oracles asserted inside the panel). The
+    // deterministic panel goes to stdout; the scoring wall clock becomes its
+    // own guarded section and the scorecards land in `BENCH_obs.json`.
+    let ((alerts_text, alerts_stats), alerts_secs) = alerts;
+    println!("{alerts_text}");
+    perf.record("alerts_panel", alerts_secs);
+    perf.record("alerts_score", alerts_stats.score_secs);
+
     // Fleet scale-out: the large drill under the heap scheduler. The panel is
     // deterministic; the measured throughput goes to stderr and the JSON.
     println!("{throughput_panel}");
@@ -219,6 +240,7 @@ fn main() {
         trace_export_secs: obs_stats.trace_export_secs,
         trace_import_secs: obs_stats.trace_import_secs,
         trace_diagnose_secs: obs_stats.trace_diagnose_secs,
+        alerts_json: alerts_stats.render_json(),
         metrics_json: obs_stats.registry.export_json(),
     };
     match obs_bench.write_obs_json() {

@@ -182,6 +182,10 @@ pub struct ObsBenchStats {
     pub trace_import_secs: f64,
     /// Wall seconds to reconstruct every cause chain from the trace.
     pub trace_diagnose_secs: f64,
+    /// The alerting plane's section — scoring wall clock plus the three
+    /// rule-set scorecards — embedded verbatim as the `alerts` value
+    /// (rendered by `AlertsStats::render_json`).
+    pub alerts_json: String,
     /// The metrics registry's own JSON export (scheduler op counters,
     /// warehouse latency histograms, broker grant outcomes, pool gauges),
     /// embedded verbatim as the `metrics` value.
@@ -209,6 +213,7 @@ impl ObsBenchStats {
             "  \"trace_diagnose_secs\": {:.6},",
             self.trace_diagnose_secs
         );
+        let _ = writeln!(out, "  \"alerts\": {},", self.alerts_json.trim_end());
         let _ = writeln!(out, "  \"metrics\": {}", self.metrics_json.trim_end());
         out.push_str("}\n");
         out
@@ -355,11 +360,13 @@ mod tests {
             trace_export_secs: 0.001,
             trace_import_secs: 0.002,
             trace_diagnose_secs: 0.003,
+            alerts_json: "{\"score_secs\": 0.000001}".to_string(),
             metrics_json: "{\"format\": 1}".to_string(),
         };
         let json = stats.render_json();
         assert_eq!(read_json_number(&json, "trace_export_secs"), Some(0.001));
         assert_eq!(read_json_number(&json, "trace_diagnose_secs"), Some(0.003));
+        assert!(json.contains("\"alerts\": {\"score_secs\": 0.000001},"));
         assert!(json.contains("\"metrics\": {\"format\": 1}"));
         assert!(json.ends_with("}\n"));
     }

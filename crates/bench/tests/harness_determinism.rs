@@ -61,6 +61,36 @@ fn traces_are_byte_identical_across_host_threading() {
 }
 
 #[test]
+fn alert_timelines_are_byte_identical_across_host_threading() {
+    // Same contract for the alerting plane: the timeline is evaluated in sim
+    // time only, so the parallel harness (which runs `alerts_panel` on a
+    // worker thread) must reproduce it byte-for-byte.
+    let rules = || byterobust_obs::RuleSet::default_rules();
+    let serial = FleetRunner::new(
+        FleetConfig::small_drill().with_alert_rules(rules()),
+        20250916,
+    )
+    .run()
+    .alerts
+    .export_json();
+    let threaded = std::thread::spawn(move || {
+        FleetRunner::new(
+            FleetConfig::small_drill().with_alert_rules(rules()),
+            20250916,
+        )
+        .run()
+        .alerts
+        .export_json()
+    })
+    .join()
+    .expect("drill thread panicked");
+    assert_eq!(
+        serial, threaded,
+        "threaded alert timeline diverged from the serial reference"
+    );
+}
+
+#[test]
 fn threaded_reports_keep_input_order() {
     let jobs = drill_jobs();
     let reports = job_reports(&jobs, true);

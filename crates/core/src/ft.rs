@@ -128,6 +128,23 @@ impl RobustController {
         ))
     }
 
+    /// The canonical recovery-phase decomposition of a failover cost, in
+    /// chronological order. This is the single source of truth for "which
+    /// phase lasted how long": the flight recorder's `PhaseTransition`
+    /// events and the fleet runner's per-phase alert signals both read from
+    /// it, so a detector watching `fleet/recovery-phase/…` sees exactly
+    /// the durations the dossier records.
+    pub fn recovery_phases(cost: &FailoverCost) -> [(RecoveryPhase, SimDuration); 6] {
+        [
+            (RecoveryPhase::Detection, cost.detection),
+            (RecoveryPhase::Localization, cost.localization),
+            (RecoveryPhase::Scheduling, cost.scheduling),
+            (RecoveryPhase::PodBuild, cost.pod_build),
+            (RecoveryPhase::CheckpointLoad, cost.checkpoint_load),
+            (RecoveryPhase::Recompute, cost.recompute),
+        ]
+    }
+
     /// The flight recorder (frozen captures are returned inside each
     /// [`IncidentOutcome`]; background telemetry is tapped through
     /// [`RobustController::recorder_mut`]).
@@ -513,15 +530,7 @@ impl RobustController {
         // Record the recovery-phase transitions (chronological end times) and
         // the resume marker, then freeze the capture.
         let mut phase_clock = now;
-        let phases = [
-            (RecoveryPhase::Detection, cost.detection),
-            (RecoveryPhase::Localization, cost.localization),
-            (RecoveryPhase::Scheduling, cost.scheduling),
-            (RecoveryPhase::PodBuild, cost.pod_build),
-            (RecoveryPhase::CheckpointLoad, cost.checkpoint_load),
-            (RecoveryPhase::Recompute, cost.recompute),
-        ];
-        for (phase, duration) in phases {
+        for (phase, duration) in Self::recovery_phases(&cost) {
             phase_clock += duration;
             if !duration.is_zero() {
                 self.recorder.record(

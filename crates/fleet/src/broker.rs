@@ -232,6 +232,11 @@ impl FleetBroker {
         &self.registry
     }
 
+    /// Jobs currently held in the admission queue (alert-signal gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Registers one job's cluster membership with the registry (broker
     /// enabled only; jobs in index order).
     pub fn register_job(&mut self, job: usize, members: &[MachineId], spares: &[MachineId]) {

@@ -7,7 +7,7 @@ use std::fmt::Write as _;
 use byterobust_cluster::{MachineId, MigrationRecord};
 use byterobust_core::JobReport;
 use byterobust_incident::Escalation;
-use byterobust_obs::Trace;
+use byterobust_obs::{AlertTimeline, FaultWindow, Trace};
 
 use crate::broker::BrokerSummary;
 use crate::drainer::CompletedSweep;
@@ -94,6 +94,13 @@ pub struct FleetReport {
     /// intervened, so a brokered run of a non-starved fleet stays
     /// byte-identical to a broker-disabled run.
     pub broker: Option<BrokerSummary>,
+    /// The canonical alert timeline (empty unless
+    /// [`crate::runner::FleetConfig::alert_rules`] was set). Sim-time domain:
+    /// byte-identical across schedulers, spill modes, and host threading.
+    /// Deliberately not part of [`FleetReport::render`] — attaching rules
+    /// must leave the rendered report byte-identical — the digest is its own
+    /// document, [`FleetReport::render_alert_digest`].
+    pub alerts: AlertTimeline,
 }
 
 impl FleetReport {
@@ -155,6 +162,38 @@ impl FleetReport {
     /// Total capacity-starved incidents across the fleet.
     pub fn starved_incidents(&self) -> usize {
         self.starved_incidents_by_job().values().sum()
+    }
+
+    /// Ground truth for lead-time scoring: one [`FaultWindow`] per incident
+    /// across every job — injection instant, end of the controller's own
+    /// detection phase, end of the full recovery — sorted chronologically.
+    /// Feed this with [`FleetReport::alerts`] to
+    /// [`byterobust_obs::score_alerts`].
+    pub fn fault_windows(&self) -> Vec<FaultWindow> {
+        let mut windows: Vec<FaultWindow> = self
+            .jobs
+            .iter()
+            .flat_map(|job| {
+                job.report
+                    .incident_store
+                    .all()
+                    .iter()
+                    .map(|dossier| FaultWindow {
+                        injected_at: dossier.at,
+                        detected_at: dossier.at + dossier.cost.detection,
+                        closed_at: dossier.at + dossier.cost.total(),
+                    })
+            })
+            .collect();
+        windows.sort();
+        windows
+    }
+
+    /// Renders the alert digest (a separate document from
+    /// [`FleetReport::render`], which stays byte-identical whether or not
+    /// rules were attached). Deterministic like the timeline itself.
+    pub fn render_alert_digest(&self) -> String {
+        self.alerts.render_digest()
     }
 
     /// Renders the report as a deterministic plain-text document.

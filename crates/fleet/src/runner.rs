@@ -19,7 +19,10 @@
 //! stress-test sweeps return cleared machines to the shared pool).
 
 use byterobust_core::{JobConfig, JobExecution, RobustController, SegmentOutcome};
-use byterobust_obs::{names, SpanKind, Trace, TraceRecorder};
+use byterobust_incident::{IncidentDossier, RecoveryPhase};
+use byterobust_obs::{
+    names, signals, AlertEngine, RuleSet, SignalBus, SignalId, SpanKind, Trace, TraceRecorder,
+};
 use byterobust_recovery::WarmStandbyPool;
 use byterobust_sim::{SimDuration, SimRng, SimTime};
 use byterobust_trainsim::JobSpec;
@@ -81,6 +84,12 @@ pub struct FleetConfig {
     /// directory. Query results and the rendered report are byte-identical
     /// either way (pinned by the spill oracles).
     pub warehouse_storage: Option<WarehouseStorage>,
+    /// Declarative alert rules evaluated in sim time during the run. `None`
+    /// disables the alerting plane entirely (no signal bus, no engine);
+    /// `Some` fills [`FleetReport::alerts`] with the run's canonical
+    /// timeline. The rendered report and the trace are byte-identical
+    /// either way.
+    pub alert_rules: Option<RuleSet>,
 }
 
 impl FleetConfig {
@@ -94,7 +103,15 @@ impl FleetConfig {
             pool_override: None,
             broker: None,
             warehouse_storage: None,
+            alert_rules: None,
         }
+    }
+
+    /// Attaches an alert rule set, to be evaluated in sim time as the fleet
+    /// runs.
+    pub fn with_alert_rules(mut self, rules: RuleSet) -> Self {
+        self.alert_rules = Some(rules);
+        self
     }
 
     /// Enables the fleet broker with the given policy.
@@ -260,6 +277,92 @@ impl FleetConfig {
     }
 }
 
+/// The runner's tap into the alerting plane: the signal bus the event loop
+/// publishes to, the engine that watches it, and the pre-registered signal
+/// ids (registration allocates; the per-event publishes do not). Built only
+/// when [`FleetConfig::alert_rules`] is set — with alerting off the loop
+/// carries no tap and behaves exactly as before.
+struct AlertTap {
+    bus: SignalBus,
+    engine: AlertEngine,
+    incidents: SignalId,
+    evictions: SignalId,
+    recovery_secs: SignalId,
+    pool_ready: SignalId,
+    pool_shortfall: SignalId,
+    broker_queue: SignalId,
+    phases: [(RecoveryPhase, SignalId); 6],
+    job_incidents: Vec<SignalId>,
+}
+
+impl AlertTap {
+    fn new(rules: &RuleSet, jobs: &[FleetJob]) -> AlertTap {
+        let mut bus = SignalBus::new();
+        let incidents = bus.register(signals::INCIDENTS);
+        let evictions = bus.register(signals::EVICTIONS);
+        let recovery_secs = bus.register(signals::RECOVERY_SECS);
+        let pool_ready = bus.register(signals::POOL_READY);
+        let pool_shortfall = bus.register(signals::POOL_SHORTFALL);
+        let broker_queue = bus.register(signals::BROKER_QUEUE);
+        let phases = RecoveryPhase::ALL
+            .map(|phase| (phase, bus.register(&signals::recovery_phase(phase.name()))));
+        let job_incidents = jobs
+            .iter()
+            .map(|job| bus.register(&signals::job_incidents(&job.label)))
+            .collect();
+        AlertTap {
+            engine: AlertEngine::new(rules),
+            bus,
+            incidents,
+            evictions,
+            recovery_secs,
+            pool_ready,
+            pool_shortfall,
+            broker_queue,
+            phases,
+            job_incidents,
+        }
+    }
+
+    /// Publishes one closed incident's signals, stamped at its injection
+    /// time (= the event time that produced it).
+    fn observe_incident(&mut self, at: SimTime, job_index: usize, dossier: &IncidentDossier) {
+        self.bus.publish(self.incidents, at, 1.0);
+        self.bus.publish(self.job_incidents[job_index], at, 1.0);
+        if !dossier.evicted.is_empty() {
+            self.bus
+                .publish(self.evictions, at, dossier.evicted.len() as f64);
+        }
+        self.bus
+            .publish(self.recovery_secs, at, dossier.cost.total().as_secs_f64());
+        // Same decomposition the flight recorder stamps into the dossier.
+        for (phase, duration) in RobustController::recovery_phases(&dossier.cost) {
+            if !duration.is_zero() {
+                let (_, id) = self
+                    .phases
+                    .iter()
+                    .find(|(p, _)| *p == phase)
+                    .expect("every recovery phase is registered at tap construction");
+                self.bus.publish(*id, at, duration.as_secs_f64());
+            }
+        }
+    }
+
+    /// Publishes the end-of-event gauges and evaluates every rule at `now`.
+    fn observe_gauges_and_evaluate(&mut self, now: SimTime, broker: &FleetBroker) {
+        self.bus
+            .publish(self.pool_ready, now, broker.pool().ready() as f64);
+        self.bus.publish(
+            self.pool_shortfall,
+            now,
+            broker.pool().shortfall_machines() as f64,
+        );
+        self.bus
+            .publish(self.broker_queue, now, broker.queue_depth() as f64);
+        self.engine.evaluate(&self.bus, now);
+    }
+}
+
 /// Runs a fleet to completion, deterministically from one seed.
 #[derive(Debug, Clone)]
 pub struct FleetRunner {
@@ -353,6 +456,13 @@ impl FleetRunner {
         // each job's own controller recorder; everything merges into one
         // canonical document for the report.
         let mut fleet_trace = TraceRecorder::new();
+        // The alerting plane, if rules are attached: signals published per
+        // event, rules evaluated per event, all in sim time.
+        let mut alert_tap = self
+            .config
+            .alert_rules
+            .as_ref()
+            .map(|rules| AlertTap::new(rules, &self.config.jobs));
 
         // The unfinished job with the earliest next event; simultaneous
         // events are broken by the interleave stream inside the scheduler.
@@ -404,6 +514,9 @@ impl FleetRunner {
                         closed_at,
                     );
                     fleet_trace.set_incident(insert_span, seq);
+                    if let Some(tap) = alert_tap.as_mut() {
+                        tap.observe_incident(event_at, index, dossier);
+                    }
                     // Re-publish the cross-job offender set only when a
                     // machine actually crossed the threshold; each monitor
                     // receives an Arc pointer copy, not a vector clone.
@@ -441,6 +554,12 @@ impl FleetRunner {
             }
             if broker.enabled() {
                 broker.sync_spares(index, &executions[index].cluster().standby_machines());
+            }
+            // Alerting sees the post-event world: gauges reflect the pool,
+            // queue, and shortfall state after this event settled, and every
+            // rule is evaluated at the event's sim time.
+            if let Some(tap) = alert_tap.as_mut() {
+                tap.observe_gauges_and_evaluate(event_at, &broker);
             }
             scheduler.reschedule(index, &executions);
         }
@@ -483,6 +602,9 @@ impl FleetRunner {
         );
         let trace = Trace::merge(trace_parts);
         let scheduler_ops = scheduler.ops();
+        // Canonicalize the alert timeline (sorted, sequence-numbered). With
+        // alerting off this is the empty timeline.
+        let alerts = alert_tap.map(|tap| tap.engine.finish()).unwrap_or_default();
 
         let seeds = self.job_seeds();
         let jobs: Vec<FleetJobReport> = executions
@@ -525,6 +647,7 @@ impl FleetRunner {
             solo_pool_sum: self.config.solo_pool_sum(),
             migrations: broker.registry().migrations().to_vec(),
             broker: broker.summary(),
+            alerts,
         }
     }
 }

@@ -24,14 +24,31 @@
 //! walker ([`query::trace_diagnose`]) reconstructs each incident's
 //! detection → diagnosis → recovery cause chain *from spans alone* and is
 //! conformance-tested against the incident store's recorded classification.
+//!
+//! The alerting plane ([`rules`], [`alert`]) lives entirely in domain 1:
+//! declarative [`rules::RuleSet`]s (JSON-loadable detection policy) are
+//! evaluated *during* the run by an [`alert::AlertEngine`] fed from a
+//! [`alert::SignalBus`] of sim-time samples, producing an
+//! [`alert::AlertTimeline`] that is byte-identical across the whole
+//! determinism matrix — and [`alert::score_alerts`] grades a timeline
+//! against ground-truth injected faults (recall, time-weighted precision,
+//! and the detection lead-time distribution vs the controller's own
+//! detection spans).
 
+pub mod alert;
 pub mod metrics;
 pub mod query;
+pub mod rules;
 pub mod trace;
 
+pub use alert::{
+    score_alerts, Alert, AlertEngine, AlertScorecard, AlertTimeline, FaultWindow, Sample,
+    SignalBus, SignalId, SCORECARD_FORMAT, SIGNAL_RING_SLOTS, TIMELINE_FORMAT,
+};
 pub use metrics::{
     Counter, HistogramSnapshot, LatencyHistogram, MetricsRegistry, HISTOGRAM_BUCKETS,
     METRICS_FORMAT,
 };
 pub use query::{trace_diagnose, trace_diagnose_all, trace_get, CauseChain, TraceQuery};
+pub use rules::{signals, Aggregate, AlertRule, AlertSeverity, Detector, RuleSet, RULES_FORMAT};
 pub use trace::{names, SpanId, SpanKind, Trace, TraceRecorder, TraceSpan, TRACE_FORMAT};

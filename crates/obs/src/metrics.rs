@@ -372,6 +372,71 @@ mod tests {
     }
 
     #[test]
+    fn quantile_of_an_empty_histogram_is_zero_for_every_q() {
+        let empty = HistogramSnapshot::default();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0, -1.0, 2.0] {
+            assert_eq!(empty.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_clamp_and_hit_the_edge_buckets() {
+        let h = LatencyHistogram::new();
+        h.record(100); // bucket 7, bound 128
+        h.record(1_000_000); // bucket 20
+        let snap = h.snapshot();
+        // q=0 means "the first sample": rank clamps up to 1.
+        assert_eq!(snap.quantile(0.0), 128);
+        // q=1 is the last sample; out-of-range q clamps to [0, 1].
+        assert_eq!(snap.quantile(1.0), 1 << 20);
+        assert_eq!(snap.quantile(-0.5), snap.quantile(0.0));
+        assert_eq!(snap.quantile(7.0), snap.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_of_a_single_bucket_histogram_is_flat() {
+        let h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record(1000); // bucket 10, bound 1024
+        }
+        let snap = h.snapshot();
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(snap.quantile(q), 1024, "q={q}");
+        }
+        // The zero bucket's (exclusive) upper bound is 1.
+        let zeros = LatencyHistogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.snapshot().quantile(0.5), 1);
+    }
+
+    #[test]
+    fn quantile_saturates_in_the_top_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX); // bucket 63
+        h.record(1 << 62); // bit length 63... also saturates into bucket 63
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let snap = h.snapshot();
+        // The top bucket has no finite exclusive bound: quantile reports
+        // u64::MAX instead of overflowing the shift.
+        assert_eq!(snap.quantile(0.5), u64::MAX);
+        assert_eq!(snap.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn merge_with_an_empty_snapshot_is_the_identity_both_ways() {
+        let h = LatencyHistogram::new();
+        for v in [0u64, 3, 700, 1 << 50, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let empty = HistogramSnapshot::default();
+        assert_eq!(snap.merge(&empty), snap);
+        assert_eq!(empty.merge(&snap), snap);
+        assert_eq!(empty.merge(&empty), empty);
+        assert_eq!(snap.merge(&empty).count(), snap.count());
+    }
+
+    #[test]
     fn counters_are_shareable_and_exact() {
         let counter = std::sync::Arc::new(Counter::new());
         let threads: Vec<_> = (0..4)

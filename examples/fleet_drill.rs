@@ -25,7 +25,19 @@
 //!     # in-repo codec, asserted an import fixed point) and
 //!     # out/trace_chrome.json (load it in chrome://tracing / Perfetto);
 //!     # stdout stays byte-identical, telemetry goes to stderr
+//! BYTEROBUST_ALERT_RULES=ci/alert_rules.json cargo run --release --example fleet_drill
+//!     # evaluate a declarative alert rule set in sim time during the run
+//!     # (any document in the byterobust-alert-rules format); the timeline
+//!     # and its lead-time scorecard go to stderr, stdout stays
+//!     # byte-identical
+//! BYTEROBUST_ALERT_DIR=out cargo run --release --example fleet_drill
+//!     # additionally export the alert timeline to out/alerts.json (codec,
+//!     # asserted an import fixed point) and the digest to
+//!     # out/alert_digest.txt; uses the built-in default rules when
+//!     # BYTEROBUST_ALERT_RULES is not also set
 //! ```
+//!
+//! The full `BYTEROBUST_*` flag table lives in `crates/fleet/README.md`.
 
 use byterobust::prelude::*;
 
@@ -46,6 +58,22 @@ fn main() {
             .map(std::path::PathBuf::from)
             .unwrap_or_else(|| std::path::PathBuf::from("target/fleet_drill_spill"));
         config = config.with_warehouse_storage(WarehouseStorage::new(SPILL_BUDGET, dir));
+    }
+    // Alerting is attached when either alert flag is present; the rendered
+    // report on stdout is byte-identical with or without it (the timeline is
+    // its own document).
+    let rules_path = std::env::var_os("BYTEROBUST_ALERT_RULES").map(std::path::PathBuf::from);
+    let alert_dir = std::env::var_os("BYTEROBUST_ALERT_DIR").map(std::path::PathBuf::from);
+    let alerting = rules_path.is_some() || alert_dir.is_some();
+    if alerting {
+        let rules = match &rules_path {
+            Some(path) => {
+                let text = std::fs::read_to_string(path).expect("read BYTEROBUST_ALERT_RULES file");
+                RuleSet::import_json(&text).expect("parse BYTEROBUST_ALERT_RULES document")
+            }
+            None => RuleSet::default_rules(),
+        };
+        config = config.with_alert_rules(rules);
     }
     let runner = FleetRunner::new(config, FLEET_SEED);
     let report = runner.run();
@@ -82,6 +110,37 @@ fn main() {
             stats.fault_ins,
             stats.resident_dossiers,
             stats.spilled_dossiers,
+        );
+    }
+
+    if alerting {
+        let exported = report.alerts.export_json();
+        let reimported =
+            AlertTimeline::import_json(&exported).expect("the drill's own timeline must re-import");
+        assert_eq!(
+            reimported.export_json(),
+            exported,
+            "alert export→import→export must be a fixed point"
+        );
+        let scorecard = score_alerts(&report.alerts, &report.fault_windows());
+        if let Some(dir) = &alert_dir {
+            std::fs::create_dir_all(dir).expect("create BYTEROBUST_ALERT_DIR");
+            std::fs::write(dir.join("alerts.json"), &exported).expect("write alerts.json");
+            std::fs::write(dir.join("alert_digest.txt"), report.render_alert_digest())
+                .expect("write alert_digest.txt");
+        }
+        // Alert telemetry goes to stderr only: stdout stays byte-identical.
+        eprintln!(
+            "alerts ({}): {} alert(s), {} escalated, {} unresolved; recall {:.3}, precision \
+             {:.3}, median lead {:.0}s over {} fault(s)",
+            report.alerts.rule_set,
+            scorecard.alerts,
+            scorecard.escalated,
+            scorecard.unresolved,
+            scorecard.recall,
+            scorecard.precision,
+            scorecard.median_lead_secs,
+            scorecard.faults,
         );
     }
 

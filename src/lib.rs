@@ -45,8 +45,9 @@ pub mod prelude {
     pub use byterobust_fleet::prelude::*;
     pub use byterobust_incident::prelude::*;
     pub use byterobust_obs::{
-        trace_diagnose, trace_diagnose_all, trace_get, MetricsRegistry, SpanKind, Trace,
-        TraceQuery, TraceRecorder,
+        score_alerts, trace_diagnose, trace_diagnose_all, trace_get, Alert, AlertEngine, AlertRule,
+        AlertScorecard, AlertSeverity, AlertTimeline, FaultWindow, MetricsRegistry, RuleSet,
+        SignalBus, SpanKind, Trace, TraceQuery, TraceRecorder,
     };
     pub use byterobust_parallelism::prelude::*;
     pub use byterobust_recovery::prelude::*;
