@@ -16,13 +16,14 @@
 //! clock changes. Sections are printed in the fixed document order
 //! regardless of completion order.
 //!
-//! Three machine-readable artifacts are written afterwards (into
+//! Four machine-readable artifacts are written afterwards (into
 //! `$BYTEROBUST_BENCH_DIR`, default `.`): `BENCH_reproduce.json` with
 //! per-section and total wall times, `BENCH_fleet.json` with the
-//! `large_drill` scheduler-throughput measurement, and `BENCH_obs.json`
+//! `large_drill` scheduler-throughput measurement, `BENCH_obs.json`
 //! with the observability plane's self-profiling (trace codec timings, the
 //! alerting plane's lead-time scorecards, plus the full wall-clock metrics
-//! registry). `ci/bench_budget.json` + the
+//! registry), and `BENCH_query.json` with the resident query plane's
+//! open-loop throughput and latency quantiles. `ci/bench_budget.json` + the
 //! `bench_guard` binary turn the first into a CI regression gate.
 //!
 //! Setting `BYTEROBUST_PERSIST_DIR=<dir>` additionally writes the incident
@@ -208,6 +209,26 @@ fn main() {
         fleet_stats.scheduler_speedup(),
     );
 
+    // The resident query plane: large drill re-run with a live
+    // WarehouseService attached and an open-loop synthetic query stream
+    // hammering it from reader threads (live-vs-post-hoc and
+    // planner-vs-oracle byte-identity asserted inside the panel). It runs
+    // alone on the main thread like the throughput measurement so its
+    // latency quantiles are not skewed by concurrent sections. The panel
+    // is deterministic; throughput and latency go to stderr and
+    // `BENCH_query.json`.
+    let ((query_panel_text, query_stats), query_panel_secs) = timed(experiments::query_panel);
+    println!("{query_panel_text}");
+    perf.record("query_panel", query_panel_secs);
+    eprintln!(
+        "query plane: {} queries in {:.2}s ({:.0} queries/sec, p50 = {} ns, p99 = {} ns)",
+        query_stats.queries,
+        query_stats.stream_wall_secs,
+        query_stats.queries_per_sec(),
+        query_stats.p50_nanos,
+        query_stats.p99_nanos,
+    );
+
     // The two production deployment jobs of §8.1 drive the remaining tables.
     let ((dense, moe), production_secs) = production;
     perf.record("production_reports", production_secs);
@@ -246,6 +267,10 @@ fn main() {
     match obs_bench.write_obs_json() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(err) => eprintln!("failed to write BENCH_obs.json: {err}"),
+    }
+    match query_stats.write_query_json() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write BENCH_query.json: {err}"),
     }
     eprintln!("reproduce finished in {total:.2}s (parallel = {})", !serial);
 }

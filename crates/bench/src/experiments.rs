@@ -14,7 +14,8 @@ use byterobust_cluster::{
 };
 use byterobust_core::{JobConfig, JobLifecycle, JobReport};
 use byterobust_fleet::{
-    BrokerConfig, FleetConfig, FleetRunner, IncidentWarehouse, SchedulerKind, WarehouseStorage,
+    BrokerConfig, FleetConfig, FleetQuery, FleetRunner, IncidentWarehouse, QueryResponse,
+    SchedulerKind, TrafficConfig, TrafficGenerator, WarehouseService, WarehouseStorage,
 };
 use byterobust_incident::{
     Classification, IncidentCapture, IncidentDossier, IncidentQuery, IncidentStore,
@@ -33,7 +34,7 @@ use byterobust_sim::{SimDuration, SimRng, SimTime};
 use byterobust_trainsim::{CodeVersion, JobSpec, StepModel, TrainingRuntime};
 
 use crate::fast_mode;
-use crate::perf::{timed, FleetBenchStats};
+use crate::perf::{timed, FleetBenchStats, QueryBenchStats};
 use crate::table::{fmt_pct, fmt_secs, Table};
 
 /// Deterministic seed shared by all experiments.
@@ -234,14 +235,50 @@ pub fn fig2_loss_mfu() -> String {
 }
 
 /// Fig. 3: unproductive-time breakdown per incident category.
+///
+/// Computed through the unified query plane: the job's incident store is
+/// ingested into a warehouse, published to a [`WarehouseService`], and each
+/// category row is the fold of one `FleetQuery::Dossiers` answer — the same
+/// serving path live readers use — instead of a raw fold over the report's
+/// incident records. The transition test pins the output byte-identical to
+/// the legacy raw fold ([`JobReport::unproductive_breakdown`]).
 pub fn fig3_unproductive(dense: &JobReport) -> String {
+    let mut warehouse = IncidentWarehouse::new(SimDuration::from_hours(1));
+    warehouse.ingest_store("dense", &dense.incident_store);
+    let service = WarehouseService::default();
+    service.publish(&warehouse);
+    service.seal();
+
     let mut table = Table::new(
         "Fig. 3: unproductive time breakdown (mean seconds per incident)",
         &["Category", "Detection", "Localization", "Failover", "Total"],
     );
-    for (category, (d, l, f)) in dense.unproductive_breakdown() {
+    let categories = [
+        (FaultCategory::Explicit, "Explicit"),
+        (FaultCategory::Implicit, "Implicit"),
+        (FaultCategory::ManualRestart, "Manual Restart"),
+    ];
+    for (category, name) in categories {
+        let query = FleetQuery::Dossiers(IncidentQuery::any().category(category));
+        let Some((QueryResponse::Dossiers(hits), _)) = service.answer(&query) else {
+            panic!("dossier arm is warehouse-backed");
+        };
+        if hits.is_empty() {
+            continue;
+        }
+        // Hits arrive in canonical (start time, job, seq) order — for a
+        // single shard, exactly the insertion order the raw fold used, so
+        // the float accumulation is bit-identical.
+        let n = hits.len() as f64;
+        let (mut d, mut l, mut f) = (0.0, 0.0, 0.0);
+        for (_, dossier) in &hits {
+            d += dossier.cost.detection.as_secs_f64();
+            l += dossier.cost.localization.as_secs_f64();
+            f += dossier.cost.failover_only().as_secs_f64();
+        }
+        let (d, l, f) = (d / n, l / n, f / n);
         table.row(&[
-            category.to_string(),
+            name.to_string(),
             fmt_secs(d),
             fmt_secs(l),
             fmt_secs(f),
@@ -1564,6 +1601,195 @@ pub fn fleet_throughput() -> (String, FleetBenchStats) {
     (table.render(), stats)
 }
 
+/// The resident query-plane benchmark: `large_drill` with a
+/// [`WarehouseService`] attached, an open-loop synthetic stream (zipfian
+/// over jobs and machines, mixed query shapes, deterministic seed) driven
+/// by reader threads against the *live* service while the fleet executes.
+///
+/// Three oracles hold while it runs:
+/// * **Live vs post-hoc** — sampled live answers record their epoch; after
+///   the run the same queries replay against `snapshot_at(epoch)` and must
+///   render byte-identical.
+/// * **Planner vs linear scan** — sampled queries at the final epoch must
+///   render byte-identical between the planner and the brute-force oracle.
+/// * **Run determinism** — the drill's rendered report is byte-identical to
+///   a run without any service attached (pinned by the integration tests).
+///
+/// Returns a deterministic summary panel (final-epoch answers only — no
+/// timing, no planner mix, nothing that depends on reader interleaving)
+/// plus the measured [`QueryBenchStats`] backing `BENCH_query.json`.
+pub fn query_panel() -> (String, QueryBenchStats) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    let traffic_seed = SEED + 77;
+    // The acceptance floor is >= 1M queries against the live service, in
+    // fast mode too: the stream dominates this section's wall clock, so
+    // shrinking the simulated drill (what fast mode does) barely helps.
+    let queries: u64 = 1_000_000;
+    /// Every `SAMPLE_EVERY`-th query is recorded live (with its serving
+    /// epoch) and replayed post-hoc for the byte-identity oracle.
+    const SAMPLE_EVERY: u64 = 10_000;
+
+    // A tight spill budget forces cold shards onto disk mid-run, so the
+    // readers fault segments through the LRU at warm-up and again every
+    // time an epoch grows a spilled shard. The cache budget deliberately
+    // exceeds the drill's total dossier count: scans walk every shard, and
+    // a budget below that working set degenerates to a 100% miss rate
+    // under cyclic access — disk IO per query, not a benchmark. Eviction
+    // behaviour under starved budgets is pinned by the service unit tests
+    // instead.
+    let spill_dir = std::env::temp_dir().join(format!(
+        "byterobust-query-panel-spill-{}",
+        std::process::id()
+    ));
+    let service = WarehouseService::new(1 << 12);
+    let config = FleetConfig::large_drill()
+        .with_warehouse_storage(WarehouseStorage::new(96, &spill_dir))
+        .with_query_service(service.clone());
+    let runner = FleetRunner::new(config, SEED + 41);
+    let labels: Vec<String> = runner
+        .config()
+        .jobs
+        .iter()
+        .map(|job| job.label.clone())
+        .collect();
+    let machines = runner.config().total_machines() as u32;
+    let generator = TrafficGenerator::new(TrafficConfig::new(traffic_seed, labels, machines, 26));
+
+    let reader_threads = 4;
+    let next = AtomicU64::new(0);
+    let samples: Mutex<Vec<(u64, u64, String)>> = Mutex::new(Vec::new());
+
+    let ((report, stream_wall_secs), drill_wall_secs) = timed(|| {
+        std::thread::scope(|scope| {
+            let run = scope.spawn(|| runner.run());
+            // Open-loop readers: pull the next stream index, answer it
+            // against whatever epoch is latest. The stream is a pure
+            // function of the index, so the queries asked are identical
+            // regardless of which thread asks them or when.
+            let (_, stream_secs) = timed(|| {
+                std::thread::scope(|readers| {
+                    for _ in 0..reader_threads {
+                        readers.spawn(|| loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= queries {
+                                break;
+                            }
+                            let query = generator.query(index);
+                            let Some((response, epoch)) = service.answer(&query) else {
+                                // Before epoch 0 is published; retry the
+                                // same query until the runner catches up.
+                                while service.answer(&query).is_none() {
+                                    std::hint::spin_loop();
+                                }
+                                continue;
+                            };
+                            if index.is_multiple_of(SAMPLE_EVERY) {
+                                samples.lock().expect("sample lock").push((
+                                    index,
+                                    epoch,
+                                    response.render(),
+                                ));
+                            }
+                        });
+                    }
+                })
+            });
+            (run.join().expect("drill run"), stream_secs)
+        })
+    });
+
+    // Live-vs-post-hoc oracle: every sampled live answer must replay
+    // byte-identically from its epoch's post-hoc snapshot.
+    let samples = samples.into_inner().expect("sample lock");
+    assert!(!samples.is_empty(), "stream recorded no samples");
+    for (index, epoch, live) in &samples {
+        let snapshot = service.snapshot_at(*epoch).expect("published epoch");
+        let (replayed, _) = snapshot
+            .answer(&generator.query(*index))
+            .expect("warehouse-backed arm");
+        assert_eq!(
+            &replayed.render(),
+            live,
+            "post-hoc replay of query {index} diverged from its live answer at epoch {epoch}"
+        );
+    }
+
+    // Planner-vs-oracle at the final epoch, over a fresh sample of the
+    // stream (different indices than the live samples, deliberately).
+    let last = service.latest().expect("sealed run has epochs");
+    for index in (0..queries).step_by((SAMPLE_EVERY + 13) as usize) {
+        let query = generator.query(index);
+        let (planned, _) = last.answer(&query).expect("warehouse-backed arm");
+        let oracle = last.oracle_answer(&query).expect("warehouse-backed arm");
+        assert_eq!(
+            planned.render(),
+            oracle.render(),
+            "planner diverged from the linear-scan oracle on query {index}"
+        );
+    }
+
+    let stats_snapshot = service.stats();
+    let stats = QueryBenchStats {
+        seed: report.seed,
+        traffic_seed,
+        queries,
+        reader_threads,
+        epochs: stats_snapshot.epochs,
+        stream_wall_secs,
+        drill_wall_secs,
+        p50_nanos: stats_snapshot.latency.quantile(0.50),
+        p99_nanos: stats_snapshot.latency.quantile(0.99),
+        plans: stats_snapshot
+            .plans
+            .iter()
+            .map(|(label, count)| (label.to_string(), *count))
+            .collect(),
+        cache_hits: stats_snapshot.cache.hits,
+        cache_faults: stats_snapshot.cache.faults,
+        cache_evictions: stats_snapshot.cache.evictions,
+    };
+
+    // The deterministic panel: final-epoch answers only. Every number here
+    // is a pure function of the fleet seed (and the fast/full mode's query
+    // count), independent of reader timing.
+    let mut table = Table::new(
+        "Query plane: snapshot-isolated reads under open-loop traffic (large drill)",
+        &["Quantity", "Value"],
+    );
+    table.row(&["Concurrent jobs".to_string(), report.jobs.len().to_string()]);
+    table.row(&[
+        "Incidents".to_string(),
+        report.total_incidents().to_string(),
+    ]);
+    table.row(&[
+        "Epochs published".to_string(),
+        stats_snapshot.epochs.to_string(),
+    ]);
+    table.row(&["Synthetic queries".to_string(), queries.to_string()]);
+    let digest = match report.answer(&FleetQuery::Digest) {
+        QueryResponse::Digest(digest) => digest,
+        other => panic!("digest arm answered {other:?}"),
+    };
+    table.row(&["Warehouse total".to_string(), digest.total.to_string()]);
+    for (severity, count) in &digest.severity {
+        table.row(&[format!("Severity {}", severity.label()), count.to_string()]);
+    }
+    let final_probe = FleetQuery::Incidents(IncidentQuery::any().at_least(Severity::ALL[2]));
+    let (hits, _) = last.answer(&final_probe).expect("warehouse-backed arm");
+    let hit_count = match &hits {
+        QueryResponse::Incidents(rows) => rows.len(),
+        other => panic!("incidents arm answered {other:?}"),
+    };
+    table.row(&[
+        format!("Hits at >= {}", Severity::ALL[2].label()),
+        hit_count.to_string(),
+    ]);
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    (table.render(), stats)
+}
+
 /// Fig. 7: stack aggregation for a backward-communication hang.
 pub fn analyzer_aggregation() -> String {
     let job = JobSpec {
@@ -1684,6 +1910,38 @@ mod tests {
             table1_incidents(),
             legacy,
             "store-backed Table 1/2 must render byte-identically to the raw fold"
+        );
+    }
+
+    /// Transition pin for the Fig. 3 migration: the figure now renders from
+    /// a warehouse query served by the resident query plane, and this test
+    /// reproduces the historical raw-record fold
+    /// ([`JobReport::unproductive_breakdown`]) verbatim and requires the
+    /// rendered document to be byte-identical. Delete once the query-backed
+    /// path has shipped a while.
+    #[test]
+    fn fig3_query_migration_is_byte_identical_to_the_raw_fold() {
+        let (dense, _) = production_reports();
+
+        let mut table = Table::new(
+            "Fig. 3: unproductive time breakdown (mean seconds per incident)",
+            &["Category", "Detection", "Localization", "Failover", "Total"],
+        );
+        for (category, (d, l, f)) in dense.unproductive_breakdown() {
+            table.row(&[
+                category.to_string(),
+                fmt_secs(d),
+                fmt_secs(l),
+                fmt_secs(f),
+                fmt_secs(d + l + f),
+            ]);
+        }
+        let legacy = table.render();
+
+        assert_eq!(
+            fig3_unproductive(&dense),
+            legacy,
+            "query-backed Fig. 3 must render byte-identically to the raw fold"
         );
     }
 }

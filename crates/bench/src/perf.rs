@@ -172,6 +172,90 @@ impl FleetBenchStats {
     }
 }
 
+/// The resident query-plane measurement backing `BENCH_query.json`: an
+/// open-loop synthetic stream served by the live [`WarehouseService`] during
+/// `large_drill`, with throughput, latency quantiles, the planner mix, and
+/// segment-cache behaviour. All wall-clock self-profiling — none of it
+/// reaches the deterministic report.
+///
+/// [`WarehouseService`]: byterobust_fleet::WarehouseService
+#[derive(Debug, Clone)]
+pub struct QueryBenchStats {
+    /// Fleet seed of the drill the service was attached to.
+    pub seed: u64,
+    /// Traffic-stream seed.
+    pub traffic_seed: u64,
+    /// Synthetic queries answered against the live service.
+    pub queries: u64,
+    /// Reader threads that drove the open-loop stream.
+    pub reader_threads: usize,
+    /// Epochs the runner published over the drill.
+    pub epochs: u64,
+    /// Wall seconds the query stream took (concurrent with the drill).
+    pub stream_wall_secs: f64,
+    /// Wall seconds of the whole drill (run + stream drain).
+    pub drill_wall_secs: f64,
+    /// Median per-query latency in nanoseconds (histogram bucket upper
+    /// bound).
+    pub p50_nanos: u64,
+    /// 99th-percentile per-query latency in nanoseconds (bucket upper
+    /// bound).
+    pub p99_nanos: u64,
+    /// Per-plan answer counts, `(label, count)`.
+    pub plans: Vec<(String, u64)>,
+    /// Segment-cache hits.
+    pub cache_hits: u64,
+    /// Segment-cache faults (segment loads).
+    pub cache_faults: u64,
+    /// Segment-cache evictions.
+    pub cache_evictions: u64,
+}
+
+impl QueryBenchStats {
+    /// Live-service throughput in queries per second.
+    pub fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 / self.stream_wall_secs.max(1e-9)
+    }
+
+    /// Renders the `BENCH_query.json` document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"query_plane_large_drill\",");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"traffic_seed\": {},", self.traffic_seed);
+        let _ = writeln!(out, "  \"queries\": {},", self.queries);
+        let _ = writeln!(out, "  \"reader_threads\": {},", self.reader_threads);
+        let _ = writeln!(out, "  \"epochs\": {},", self.epochs);
+        let _ = writeln!(out, "  \"stream_wall_secs\": {:.4},", self.stream_wall_secs);
+        let _ = writeln!(out, "  \"drill_wall_secs\": {:.4},", self.drill_wall_secs);
+        let _ = writeln!(out, "  \"queries_per_sec\": {:.1},", self.queries_per_sec());
+        let _ = writeln!(out, "  \"p50_nanos\": {},", self.p50_nanos);
+        let _ = writeln!(out, "  \"p99_nanos\": {},", self.p99_nanos);
+        let _ = writeln!(out, "  \"cache_hits\": {},", self.cache_hits);
+        let _ = writeln!(out, "  \"cache_faults\": {},", self.cache_faults);
+        let _ = writeln!(out, "  \"cache_evictions\": {},", self.cache_evictions);
+        out.push_str("  \"plans\": [\n");
+        for (i, (label, count)) in self.plans.iter().enumerate() {
+            let comma = if i + 1 == self.plans.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"count\": {count}}}{comma}",
+                json_escape(label)
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_query.json` into [`bench_dir`] and returns its path.
+    pub fn write_query_json(&self) -> std::io::Result<PathBuf> {
+        let path = bench_dir().join("BENCH_query.json");
+        std::fs::write(&path, self.render_json())?;
+        Ok(path)
+    }
+}
+
 /// The observability self-profiling artifact backing `BENCH_obs.json`:
 /// trace codec timings plus the full wall-clock metrics registry export.
 #[derive(Debug, Clone)]
@@ -318,6 +402,34 @@ mod tests {
         let json = stats.render_json();
         assert_eq!(read_json_number(&json, "events"), Some(524.0));
         assert_eq!(read_json_number(&json, "scheduler_speedup"), Some(2.0));
+    }
+
+    #[test]
+    fn query_stats_derivations() {
+        let stats = QueryBenchStats {
+            seed: 1,
+            traffic_seed: 2,
+            queries: 1_000_000,
+            reader_threads: 4,
+            epochs: 615,
+            stream_wall_secs: 10.0,
+            drill_wall_secs: 10.5,
+            p50_nanos: 4096,
+            p99_nanos: 65536,
+            plans: vec![("machine".to_string(), 7), ("scan".to_string(), 3)],
+            cache_hits: 100,
+            cache_faults: 5,
+            cache_evictions: 2,
+        };
+        assert!((stats.queries_per_sec() - 100_000.0).abs() < 1e-6);
+        let json = stats.render_json();
+        assert_eq!(read_json_number(&json, "queries"), Some(1_000_000.0));
+        assert_eq!(read_json_number(&json, "p99_nanos"), Some(65536.0));
+        assert_eq!(read_json_number(&json, "cache_faults"), Some(5.0));
+        assert_eq!(
+            read_json_name_number_pairs(&json, "count"),
+            vec![("machine".to_string(), 7.0), ("scan".to_string(), 3.0)]
+        );
     }
 
     #[test]

@@ -33,6 +33,19 @@
 //! [`render`](report::FleetReport::render) output is byte-identical across
 //! runs with the same seed.
 //!
+//! # The query plane
+//!
+//! Two modules turn the warehouse from a post-run artifact into a live
+//! service. [`query`] is the unified vocabulary: one [`FleetQuery`] request
+//! enum and one [`QueryResponse`] result enum (with a JSON codec) covering
+//! every read surface — incident rows, full dossiers, the warehouse digest,
+//! trace spans, and alert timeline lookups. [`service`] is the resident
+//! plane: a [`WarehouseService`] the runner publishes copy-on-write epoch
+//! snapshots into after every insert, answering queries concurrently with
+//! fleet execution under snapshot isolation, through a selectivity-based
+//! planner with a retained `linear_scan` oracle, with spilled shards faulted
+//! in through a capacity-bounded LRU.
+//!
 //! # Machine identity across jobs
 //!
 //! Every job's cluster addresses one fleet-wide `MachineId` namespace:
@@ -60,17 +73,24 @@
 pub mod broker;
 pub mod drainer;
 pub mod ledger;
+pub mod query;
 pub mod report;
 pub mod runner;
 pub mod scheduler;
+pub mod service;
 pub mod warehouse;
 
 pub use broker::{BrokerConfig, BrokerEvent, BrokerSummary, FleetBroker, JobPriority};
 pub use drainer::{BacklogDrainer, CompletedSweep};
 pub use ledger::RepeatOffenderLedger;
+pub use query::{alert_get, AlertQuery, FleetQuery, IncidentRow, QueryResponse, WarehouseDigest};
 pub use report::{DrainSummary, FleetJobReport, FleetReport};
 pub use runner::{FleetConfig, FleetJob, FleetRunner};
 pub use scheduler::{EventScheduler, SchedulerKind};
+pub use service::{
+    CacheStats, EpochSnapshot, EpochStamp, PlanChoice, ServiceStats, ShardCache, TrafficConfig,
+    TrafficGenerator, WarehouseService,
+};
 pub use warehouse::{IncidentWarehouse, SpillStats, WarehouseHit, WarehouseStorage};
 
 /// Convenience prelude for downstream crates.
@@ -78,8 +98,15 @@ pub mod prelude {
     pub use crate::broker::{BrokerConfig, BrokerEvent, BrokerSummary, FleetBroker, JobPriority};
     pub use crate::drainer::{BacklogDrainer, CompletedSweep};
     pub use crate::ledger::RepeatOffenderLedger;
+    pub use crate::query::{
+        alert_get, AlertQuery, FleetQuery, IncidentRow, QueryResponse, WarehouseDigest,
+    };
     pub use crate::report::{DrainSummary, FleetJobReport, FleetReport};
     pub use crate::runner::{FleetConfig, FleetJob, FleetRunner};
     pub use crate::scheduler::{EventScheduler, SchedulerKind};
+    pub use crate::service::{
+        CacheStats, EpochSnapshot, EpochStamp, PlanChoice, ServiceStats, ShardCache, TrafficConfig,
+        TrafficGenerator, WarehouseService,
+    };
     pub use crate::warehouse::{IncidentWarehouse, SpillStats, WarehouseHit, WarehouseStorage};
 }

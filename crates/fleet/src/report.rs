@@ -11,6 +11,7 @@ use byterobust_obs::{AlertTimeline, FaultWindow, Trace};
 
 use crate::broker::BrokerSummary;
 use crate::drainer::CompletedSweep;
+use crate::query::{alert_get, FleetQuery, QueryResponse, WarehouseDigest};
 use crate::scheduler::SchedulerOps;
 use crate::warehouse::IncidentWarehouse;
 
@@ -104,6 +105,71 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
+    /// Answers any [`FleetQuery`] against the finished run — the post-hoc
+    /// half of the unified query API. The warehouse arms (incidents,
+    /// dossiers, digest) go through [`IncidentWarehouse::query`] and the
+    /// index aggregates; the span and alert arms filter the merged trace and
+    /// the canonical alert timeline. Post-seal, every warehouse-backed
+    /// answer renders byte-identical to
+    /// [`WarehouseService::answer`](crate::service::WarehouseService::answer)
+    /// at the final epoch (pinned by the agreement oracle) — same vocabulary,
+    /// three serving paths.
+    pub fn answer(&self, query: &FleetQuery) -> QueryResponse {
+        match query {
+            FleetQuery::Incidents(inner) => QueryResponse::incidents(
+                self.warehouse
+                    .query(inner)
+                    .into_iter()
+                    .map(|hit| (hit.job, hit.dossier)),
+            ),
+            FleetQuery::Dossiers(inner) => QueryResponse::dossiers(
+                self.warehouse
+                    .query(inner)
+                    .into_iter()
+                    .map(|hit| (hit.job, hit.dossier)),
+            ),
+            FleetQuery::Digest => {
+                let mut jobs: Vec<(String, u64)> = self
+                    .warehouse
+                    .epoch_heads()
+                    .into_iter()
+                    .filter(|head| head.len > 0)
+                    .map(|head| (head.label, head.len as u64))
+                    .collect();
+                jobs.sort();
+                QueryResponse::Digest(WarehouseDigest {
+                    total: self.warehouse.len() as u64,
+                    jobs,
+                    severity: self
+                        .warehouse
+                        .severity_counts()
+                        .into_iter()
+                        .map(|(severity, count)| (severity, count as u64))
+                        .collect(),
+                    category: self
+                        .warehouse
+                        .category_counts()
+                        .into_iter()
+                        .map(|(category, count)| (category, count as u64))
+                        .collect(),
+                })
+            }
+            FleetQuery::Spans(inner) => QueryResponse::Spans(
+                byterobust_obs::trace_get(&self.trace, inner)
+                    .into_iter()
+                    .cloned()
+                    .collect(),
+            ),
+            FleetQuery::Alerts(inner) => QueryResponse::Alerts(
+                self.alerts.rule_set.clone(),
+                alert_get(&self.alerts, inner)
+                    .into_iter()
+                    .cloned()
+                    .collect(),
+            ),
+        }
+    }
+
     /// Fleet-wide effective-training-time ratio: total productive time over
     /// total accounted time, across every job.
     pub fn fleet_ettr(&self) -> f64 {

@@ -32,6 +32,7 @@ use crate::drainer::BacklogDrainer;
 use crate::ledger::RepeatOffenderLedger;
 use crate::report::{DrainSummary, FleetJobReport, FleetReport};
 use crate::scheduler::{EventScheduler, SchedulerKind};
+use crate::service::WarehouseService;
 use crate::warehouse::{IncidentWarehouse, WarehouseStorage};
 
 /// One job in the fleet: a label (unique within the fleet) plus its
@@ -90,6 +91,16 @@ pub struct FleetConfig {
     /// timeline. The rendered report and the trace are byte-identical
     /// either way.
     pub alert_rules: Option<RuleSet>,
+    /// The resident query plane, if attached: the runner publishes a
+    /// copy-on-write epoch into the service after every warehouse insert
+    /// (plus an initial empty epoch and a final sealed one), so reader
+    /// threads holding a clone of the service answer [`FleetQuery`]s
+    /// concurrently with the run under snapshot isolation. `None` runs
+    /// without a query plane. The rendered report is byte-identical either
+    /// way (publishing is read-only over shard heads).
+    ///
+    /// [`FleetQuery`]: crate::query::FleetQuery
+    pub query_service: Option<WarehouseService>,
 }
 
 impl FleetConfig {
@@ -104,7 +115,15 @@ impl FleetConfig {
             broker: None,
             warehouse_storage: None,
             alert_rules: None,
+            query_service: None,
         }
+    }
+
+    /// Attaches a resident query service; the runner publishes an epoch into
+    /// it after every warehouse insert and seals it when the run completes.
+    pub fn with_query_service(mut self, service: WarehouseService) -> Self {
+        self.query_service = Some(service);
+        self
     }
 
     /// Attaches an alert rule set, to be evaluated in sim time as the fleet
@@ -445,6 +464,13 @@ impl FleetRunner {
             }
             None => IncidentWarehouse::new(self.config.bucket_width),
         };
+        // The resident query plane, if attached: epoch 0 (the empty
+        // warehouse) is published before the first event so concurrent
+        // readers always find a pinnable snapshot.
+        let query_service = self.config.query_service.as_ref();
+        if let Some(service) = query_service {
+            service.publish(&warehouse);
+        }
         let mut drainer = BacklogDrainer::new();
         let mut ledger = RepeatOffenderLedger::new(self.config.repeat_offender_threshold);
         let mut machines_returned = 0usize;
@@ -507,6 +533,12 @@ impl FleetRunner {
                     broker.note_incident(&dossier.evicted);
                     drainer.dispatch(label, dossier, closed_at);
                     warehouse.insert(label, dossier.clone());
+                    // Publish the post-insert epoch: a handful of Arc clones
+                    // of the shard heads. Readers pinning earlier epochs are
+                    // untouched (copy-on-write).
+                    if let Some(service) = query_service {
+                        service.publish(&warehouse);
+                    }
                     let insert_span = fleet_trace.instant(
                         SpanKind::Warehouse,
                         names::WAREHOUSE_INSERT,
@@ -605,6 +637,14 @@ impl FleetRunner {
         // Canonicalize the alert timeline (sorted, sequence-numbered). With
         // alerting off this is the empty timeline.
         let alerts = alert_tap.map(|tap| tap.engine.finish()).unwrap_or_default();
+
+        // Final epoch + seal: the latest published snapshot is now the run's
+        // complete warehouse content, and post-hoc readers can replay any
+        // epoch against it.
+        if let Some(service) = query_service {
+            service.publish(&warehouse);
+            service.seal();
+        }
 
         let seeds = self.job_seeds();
         let jobs: Vec<FleetJobReport> = executions

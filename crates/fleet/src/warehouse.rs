@@ -40,6 +40,22 @@
 //! reports are byte-identical with spill on or off (pinned by the oracle
 //! tests and the `persistence-roundtrip` CI job).
 //!
+//! # Copy-on-write shard heads
+//!
+//! Resident shards live behind `Arc<IncidentStore>`. That is what lets the
+//! resident query plane (`crate::service::WarehouseService`) publish an
+//! *epoch snapshot* after every insert batch as a handful of `Arc` clones:
+//! the runner keeps mutating its shard through [`Arc::make_mut`] (which
+//! copies the shard only while a snapshot still pins the old head), readers
+//! keep the head they pinned, and neither side ever blocks the other.
+//! Because per-shard insertion is strictly append-ordered (ascending `seq`,
+//! non-decreasing time — asserted), the content of any shard at epoch `N`
+//! is a *prefix* of its content at every later epoch, which is what the
+//! snapshot plane's prefix-truncated reads and its segment cache rely on.
+//! Segment files are written via a temp-file + atomic rename so a
+//! concurrent snapshot reader faulting a segment in never observes a torn
+//! write.
+//!
 //! The budget is enforced at insert time; the shard currently being
 //! inserted into is spilled only as a last resort, so a budget at least as
 //! large as the biggest shard keeps ingestion out of write-through (a
@@ -53,7 +69,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use std::sync::atomic::AtomicU64;
 
@@ -124,7 +140,8 @@ struct DossierKey {
 }
 
 /// One per-job shard. The label, cached length, and recency stamp always
-/// stay in memory; the store itself is either resident (in the `OnceLock`)
+/// stay in memory; the store itself is either resident (in the `OnceLock`,
+/// behind an `Arc` so epoch snapshots can share the head copy-on-write)
 /// or spilled to `segment` on disk — or both, when a spilled shard was
 /// faulted back in and not modified since (`segment` then names a clean
 /// on-disk copy that can be dropped again without rewriting).
@@ -138,9 +155,32 @@ struct Shard {
     /// coldest shard and spills first. (Fault-ins hold `&self` and do not
     /// refresh it: recency means insert recency.)
     last_touch: u64,
-    resident: OnceLock<IncidentStore>,
+    resident: OnceLock<Arc<IncidentStore>>,
     /// Path of the shard's segment file, when the on-disk copy is current.
     segment: Option<PathBuf>,
+}
+
+/// One shard's head as captured by an epoch publish: the label, the dossier
+/// count at capture time, and either the resident store (`Arc`-shared,
+/// copy-on-write) or the segment file it was spilled to. Consumed by the
+/// resident query plane in `crate::service`.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardHead {
+    pub(crate) label: String,
+    pub(crate) len: usize,
+    pub(crate) content: ShardContent,
+}
+
+/// Where a captured shard head's dossiers live.
+#[derive(Debug, Clone)]
+pub(crate) enum ShardContent {
+    /// The head pins the resident store at capture time.
+    Resident(Arc<IncidentStore>),
+    /// The shard was spilled when captured; the segment file holds exactly
+    /// the head's `len` dossiers at capture time, and — because segments
+    /// are only rewritten with strictly more appended dossiers — at least
+    /// `len` at any later time.
+    Spilled(PathBuf),
 }
 
 /// The canonical comparison tuple for a key: (start time, job label, seq).
@@ -210,7 +250,7 @@ impl Clone for IncidentWarehouse {
             .map(|(index, shard)| {
                 let resident = OnceLock::new();
                 resident
-                    .set(self.store_for(index).clone())
+                    .set(self.store_arc_for(index))
                     .expect("fresh cell is empty");
                 Shard {
                     label: shard.label.clone(),
@@ -308,7 +348,30 @@ impl IncidentWarehouse {
     }
 
     fn bucket_of(&self, at: SimTime) -> u64 {
-        (at.as_secs_f64() / self.bucket_width.as_secs_f64()).floor() as u64
+        bucket_index_of(self.bucket_width, at)
+    }
+
+    /// Captures every shard's head for an epoch publish: resident shards as
+    /// `Arc` clones (copy-on-write — later inserts copy the shard, the
+    /// capture keeps this head), spilled shards as their segment path. Never
+    /// touches disk and never faults anything in.
+    pub(crate) fn epoch_heads(&self) -> Vec<ShardHead> {
+        self.shards
+            .iter()
+            .map(|shard| ShardHead {
+                label: shard.label.clone(),
+                len: shard.len,
+                content: match shard.resident.get() {
+                    Some(arc) => ShardContent::Resident(Arc::clone(arc)),
+                    None => ShardContent::Spilled(
+                        shard
+                            .segment
+                            .clone()
+                            .expect("a non-resident shard has a segment file"),
+                    ),
+                },
+            })
+            .collect()
     }
 
     fn shard_index(&mut self, job: &str) -> usize {
@@ -317,7 +380,7 @@ impl IncidentWarehouse {
             None => {
                 let resident = OnceLock::new();
                 resident
-                    .set(IncidentStore::new())
+                    .set(Arc::new(IncidentStore::new()))
                     .expect("fresh cell is empty");
                 self.shards.push(Shard {
                     label: job.to_string(),
@@ -356,27 +419,44 @@ impl IncidentWarehouse {
                 .segment
                 .as_ref()
                 .expect("a non-resident shard has a segment file");
-            load_segment(path, &shard.label, shard.len).unwrap_or_else(|err| {
+            let store = load_segment(path, &shard.label, shard.len).unwrap_or_else(|err| {
                 panic!(
                     "warehouse segment {} for shard `{}` is unreadable: {err}",
                     path.display(),
                     shard.label
                 )
-            })
+            });
+            Arc::new(store)
         })
+    }
+
+    /// The `Arc` head of one shard's store (faulting it in first if needed) —
+    /// the copy-on-write handle epoch publishes and detached clones share.
+    fn store_arc_for(&self, index: usize) -> Arc<IncidentStore> {
+        self.store_for(index);
+        Arc::clone(
+            self.shards[index]
+                .resident
+                .get()
+                .expect("store_for made the shard resident"),
+        )
     }
 
     /// Mutable access to one shard's store (faulting it in first if needed).
     /// The on-disk copy, if any, is invalidated: the caller is about to
-    /// change the store.
+    /// change the store. While an epoch snapshot still pins the current head,
+    /// `Arc::make_mut` copies the shard and the snapshot keeps the old head —
+    /// that is the copy-on-write that makes snapshot reads torn-state-free.
     fn store_mut_for(&mut self, index: usize) -> &mut IncidentStore {
         self.store_for(index);
         let shard = &mut self.shards[index];
         shard.segment = None;
-        shard
-            .resident
-            .get_mut()
-            .expect("store_for made the shard resident")
+        Arc::make_mut(
+            shard
+                .resident
+                .get_mut()
+                .expect("store_for made the shard resident"),
+        )
     }
 
     fn touch(&mut self, index: usize) {
@@ -435,8 +515,14 @@ impl IncidentWarehouse {
                 .expect("only resident shards are spilled");
             let document = render_segment(&shard.label, store);
             self.spill_bytes_written += document.len() as u64;
-            std::fs::write(&path, document)
-                .unwrap_or_else(|err| panic!("cannot write segment {}: {err}", path.display()));
+            // Temp-file + atomic rename: a snapshot reader faulting this
+            // segment in concurrently sees either the old complete file or
+            // the new complete file, never a torn write.
+            let tmp = path.with_extension("json.tmp");
+            std::fs::write(&tmp, document)
+                .unwrap_or_else(|err| panic!("cannot write segment {}: {err}", tmp.display()));
+            std::fs::rename(&tmp, &path)
+                .unwrap_or_else(|err| panic!("cannot publish segment {}: {err}", path.display()));
             self.segments_written += 1;
             self.shards[index].segment = Some(path);
         }
@@ -482,14 +568,10 @@ impl IncidentWarehouse {
         };
         let bucket = self.bucket_of(dossier.at);
         // Machine index: same "involves" semantics as `IncidentQuery::machine`
-        // (evicted machines plus machines mentioned in the capture evidence),
-        // gathered into a reused scratch buffer.
+        // — the shared filter core is the single source of that set, gathered
+        // into a reused scratch buffer.
         let mut machines = std::mem::take(&mut self.machine_scratch);
-        machines.clear();
-        machines.extend_from_slice(&dossier.evicted);
-        dossier.capture.machines_mentioned_into(&mut machines);
-        machines.sort_unstable();
-        machines.dedup();
+        byterobust_incident::filter::implicated_machines_into(&dossier, &mut machines);
         let shards = &self.shards;
         let post = |postings: &mut Vec<DossierKey>| {
             let target = canonical(shards, key);
@@ -965,6 +1047,27 @@ fn render_segment(job: &str, store: &IncidentStore) -> String {
 
 /// Loads and validates one shard's segment document.
 fn load_segment(path: &Path, job: &str, expected_len: usize) -> Result<IncidentStore, CodecError> {
+    let store = load_segment_at_least(path, job, expected_len)?;
+    if store.len() != expected_len {
+        return Err(CodecError::other(format!(
+            "segment holds {} dossiers, the index expects {expected_len}",
+            store.len()
+        )));
+    }
+    Ok(store)
+}
+
+/// Loads one shard's segment document, requiring *at least* `min_len`
+/// dossiers instead of an exact count. The snapshot plane's segment cache
+/// uses this: a segment may legitimately have been rewritten with more
+/// appended dossiers since the epoch that referenced it was published
+/// (per-shard content only ever grows), and the epoch's exact content is
+/// the first `min_len` dossiers of whatever is on disk.
+pub(crate) fn load_segment_at_least(
+    path: &Path,
+    job: &str,
+    min_len: usize,
+) -> Result<IncidentStore, CodecError> {
     let text = std::fs::read_to_string(path)
         .map_err(|err| CodecError::other(format!("cannot read segment: {err}")))?;
     let document = JsonValue::parse(&text)?;
@@ -976,13 +1079,20 @@ fn load_segment(path: &Path, job: &str, expected_len: usize) -> Result<IncidentS
         )));
     }
     let store: IncidentStore = document.field("store")?;
-    if store.len() != expected_len {
+    if store.len() < min_len {
         return Err(CodecError::other(format!(
-            "segment holds {} dossiers, the index expects {expected_len}",
+            "segment holds {} dossiers, the epoch expects at least {min_len}",
             store.len()
         )));
     }
     Ok(store)
+}
+
+/// The time-bucket index of a start time under a bucket width — shared by
+/// the warehouse's live index and the snapshot plane's rebuilt indexes, so
+/// the two can never drift.
+pub(crate) fn bucket_index_of(bucket_width: SimDuration, at: SimTime) -> u64 {
+    (at.as_secs_f64() / bucket_width.as_secs_f64()).floor() as u64
 }
 
 #[cfg(test)]

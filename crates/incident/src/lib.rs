@@ -53,6 +53,7 @@
 
 pub mod classify;
 pub mod codec;
+pub mod filter;
 pub mod mechanism;
 pub mod postmortem;
 pub mod recorder;

@@ -141,37 +141,7 @@ impl IncidentQuery {
 
     /// Whether a dossier matches every set filter.
     pub fn matches(&self, dossier: &IncidentDossier) -> bool {
-        if let Some(category) = self.category {
-            if dossier.category != category {
-                return false;
-            }
-        }
-        if let Some(kind) = self.kind {
-            if dossier.kind != kind {
-                return false;
-            }
-        }
-        if let Some(floor) = self.min_severity {
-            if !dossier.classification.severity.is_at_least(floor) {
-                return false;
-            }
-        }
-        if let Some((from, to)) = self.window {
-            if dossier.at < from || dossier.at >= to {
-                return false;
-            }
-        }
-        if let Some(machine) = self.machine {
-            if !dossier.involves_machine(machine) {
-                return false;
-            }
-        }
-        if let Some(mechanism) = self.mechanism {
-            if dossier.mechanism != mechanism {
-                return false;
-            }
-        }
-        true
+        crate::filter::matches(self, dossier)
     }
 }
 
@@ -216,10 +186,7 @@ impl IncidentStore {
 
     /// Dossiers matching a query, in time order.
     pub fn query(&self, query: &IncidentQuery) -> Vec<&IncidentDossier> {
-        self.dossiers
-            .iter()
-            .filter(|dossier| query.matches(dossier))
-            .collect()
+        crate::filter::filter(&self.dossiers, query)
     }
 
     /// Looks up one incident by sequence number. The store is kept sorted by

@@ -35,6 +35,16 @@
 //!     # asserted an import fixed point) and the digest to
 //!     # out/alert_digest.txt; uses the built-in default rules when
 //!     # BYTEROBUST_ALERT_RULES is not also set
+//! BYTEROBUST_QUERY_TRAFFIC=50000 cargo run --release --example fleet_drill
+//!     # attach the resident query service and drive that many open-loop
+//!     # synthetic queries against it from a reader thread while the drill
+//!     # runs; sampled live answers are replayed post-hoc from their epoch
+//!     # snapshots (asserted byte-identical), the traffic summary goes to
+//!     # stderr, stdout stays byte-identical
+//! BYTEROBUST_QUERY_CACHE=64 cargo run --release --example fleet_drill
+//!     # cap the query service's segment cache at that many resident
+//!     # dossiers (default 4096); pair with BYTEROBUST_SPILL=1 to watch the
+//!     # LRU fault and evict under live traffic
 //! ```
 //!
 //! The full `BYTEROBUST_*` flag table lives in `crates/fleet/README.md`.
@@ -75,8 +85,97 @@ fn main() {
         };
         config = config.with_alert_rules(rules);
     }
+    // Query traffic: attach the resident query service and drive an
+    // open-loop synthetic stream against it from a reader thread while the
+    // drill executes. Live answers are sampled and replayed post-hoc from
+    // their epoch snapshots (asserted byte-identical); the summary goes to
+    // stderr, stdout stays byte-identical to a run without traffic.
+    let traffic: Option<u64> = std::env::var("BYTEROBUST_QUERY_TRAFFIC").ok().map(|v| {
+        v.parse()
+            .expect("BYTEROBUST_QUERY_TRAFFIC must be a query count")
+    });
+    let cache_budget: usize = std::env::var("BYTEROBUST_QUERY_CACHE")
+        .ok()
+        .map(|v| {
+            v.parse()
+                .expect("BYTEROBUST_QUERY_CACHE must be a dossier count")
+        })
+        .unwrap_or(4096);
+    let service = traffic.map(|_| WarehouseService::new(cache_budget));
+    if let Some(service) = &service {
+        config = config.with_query_service(service.clone());
+    }
+
     let runner = FleetRunner::new(config, FLEET_SEED);
-    let report = runner.run();
+    let report = match (&service, traffic) {
+        (Some(service), Some(queries)) => {
+            use std::sync::atomic::{AtomicU64, Ordering};
+
+            let labels: Vec<String> = runner
+                .config()
+                .jobs
+                .iter()
+                .map(|job| job.label.clone())
+                .collect();
+            let machines = runner.config().total_machines() as u32;
+            let generator =
+                TrafficGenerator::new(TrafficConfig::new(FLEET_SEED + 1, labels, machines, 26));
+            let next = AtomicU64::new(0);
+            let samples = std::sync::Mutex::new(Vec::new());
+            let sample_every = (queries / 16).max(1);
+            let report = std::thread::scope(|scope| {
+                let run = scope.spawn(|| runner.run());
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= queries {
+                        break;
+                    }
+                    let query = generator.query(index);
+                    // None only before the first epoch publishes.
+                    let (response, epoch) = loop {
+                        match service.answer(&query) {
+                            Some(answer) => break answer,
+                            None => std::thread::yield_now(),
+                        }
+                    };
+                    if index.is_multiple_of(sample_every) {
+                        samples.lock().expect("sample lock").push((
+                            index,
+                            epoch,
+                            response.render(),
+                        ));
+                    }
+                });
+                run.join().expect("drill thread panicked")
+            });
+            for (index, epoch, rendered) in samples.into_inner().expect("sample lock") {
+                let snapshot = service.snapshot_at(epoch).expect("published epoch");
+                let (replayed, _) = snapshot
+                    .answer(&generator.query(index))
+                    .expect("stream queries are warehouse-backed");
+                assert_eq!(
+                    replayed.render(),
+                    rendered,
+                    "query {index}: post-hoc replay diverged from its live answer at epoch {epoch}"
+                );
+            }
+            let stats = service.stats();
+            // Query telemetry goes to stderr only: stdout stays byte-identical.
+            eprintln!(
+                "query traffic: {} answered across {} epoch(s), p50 {} ns, p99 {} ns, cache {} \
+                 hit(s) / {} fault(s) / {} eviction(s); live samples replayed byte-identically",
+                stats.queries,
+                stats.epochs,
+                stats.latency.quantile(0.50),
+                stats.latency.quantile(0.99),
+                stats.cache.hits,
+                stats.cache.faults,
+                stats.cache.evictions,
+            );
+            report
+        }
+        _ => runner.run(),
+    };
     print!("{}", report.render());
 
     // The acceptance bar for the drill: the backlog actually drained and the

@@ -533,6 +533,226 @@ fn warehouse_export_import_render_round_trip_on_fleet_data() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The resident query plane: a live WarehouseService attached to the drill,
+// hammered by concurrent readers while the fleet executes.
+// ---------------------------------------------------------------------------
+
+/// A live sample: (stream index, serving epoch, rendered answer).
+type LiveSample = (u64, u64, String);
+
+struct LiveDrill {
+    report: FleetReport,
+    service: WarehouseService,
+    generator: TrafficGenerator,
+    samples: Vec<LiveSample>,
+}
+
+const LIVE_QUERIES: u64 = 12_000;
+const LIVE_TRAFFIC_SEED: u64 = 4242;
+
+/// One shared small-drill run with a query service attached (spill enabled,
+/// so readers fault segments through the LRU mid-run) and three reader
+/// threads draining an open-loop stream against it. Every 250th answer is
+/// recorded with its serving epoch for the post-hoc replay oracle.
+fn live_drill() -> &'static LiveDrill {
+    static RUN: OnceLock<LiveDrill> = OnceLock::new();
+    RUN.get_or_init(|| {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Mutex;
+
+        let dir = spill_dir("query-live");
+        let service = WarehouseService::new(64);
+        let runner = FleetRunner::new(
+            FleetConfig::small_drill()
+                .with_warehouse_storage(WarehouseStorage::new(8, &dir))
+                .with_query_service(service.clone()),
+            20250916,
+        );
+        let labels: Vec<String> = runner
+            .config()
+            .jobs
+            .iter()
+            .map(|job| job.label.clone())
+            .collect();
+        let machines = runner.config().total_machines() as u32;
+        let generator =
+            TrafficGenerator::new(TrafficConfig::new(LIVE_TRAFFIC_SEED, labels, machines, 26));
+
+        let next = AtomicU64::new(0);
+        let samples: Mutex<Vec<LiveSample>> = Mutex::new(Vec::new());
+        let report = std::thread::scope(|scope| {
+            let run = scope.spawn(|| runner.run());
+            std::thread::scope(|readers| {
+                for _ in 0..3 {
+                    readers.spawn(|| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= LIVE_QUERIES {
+                            break;
+                        }
+                        let query = generator.query(index);
+                        // None only before epoch 0 publishes (the generator
+                        // never emits span/alert arms): retry until the
+                        // runner catches up.
+                        let (response, epoch) = loop {
+                            match service.answer(&query) {
+                                Some(answer) => break answer,
+                                None => std::thread::yield_now(),
+                            }
+                        };
+                        if index.is_multiple_of(250) {
+                            samples.lock().expect("sample lock").push((
+                                index,
+                                epoch,
+                                response.render(),
+                            ));
+                        }
+                    });
+                }
+            });
+            run.join().expect("drill thread panicked")
+        });
+        let samples = samples.into_inner().expect("sample lock");
+        // The spill dir must outlive the process: the report's warehouse and
+        // every pinned epoch snapshot fault spilled segments lazily, from any
+        // test, at any time. It is pid-suffixed, so leaving it costs nothing.
+        LiveDrill {
+            report,
+            service,
+            generator,
+            samples,
+        }
+    })
+}
+
+#[test]
+fn live_service_is_invisible_to_the_fleet_run() {
+    // Attaching the service (and a concurrent reader pool) must not perturb
+    // the simulation: the report is byte-identical to the plain shared
+    // drill, same seed, no service.
+    let live = live_drill();
+    assert_eq!(
+        live.report.render(),
+        drill().render(),
+        "a live query service must not change the fleet history"
+    );
+    assert!(live.service.is_sealed(), "the runner seals after the drill");
+    assert!(
+        live.service.stats().queries >= LIVE_QUERIES,
+        "every stream query was answered"
+    );
+    assert!(!live.samples.is_empty(), "readers recorded live samples");
+}
+
+#[test]
+fn live_answers_replay_byte_identically_from_post_hoc_snapshots() {
+    // The snapshot-isolation oracle across the whole run: every sampled
+    // live answer re-derives byte-identically from `snapshot_at` of the
+    // epoch that served it — long after the warehouse moved on.
+    let live = live_drill();
+    for (index, epoch, rendered) in &live.samples {
+        let snapshot = live
+            .service
+            .snapshot_at(*epoch)
+            .unwrap_or_else(|| panic!("epoch {epoch} was published"));
+        let (replayed, _) = snapshot
+            .answer(&live.generator.query(*index))
+            .expect("stream queries are warehouse-backed");
+        assert_eq!(
+            &replayed.render(),
+            rendered,
+            "query {index}: post-hoc replay diverged from its live answer at epoch {epoch}"
+        );
+    }
+}
+
+#[test]
+fn planner_matches_the_linear_scan_oracle_at_every_published_epoch() {
+    // The planner-vs-oracle matrix: every published epoch, a slice of the
+    // traffic stream (all shapes: point lookups, floors, windows,
+    // conjunctions, scans, digests), planner and brute-force scan must
+    // render byte-identically.
+    let live = live_drill();
+    let stamps = live.service.stamps();
+    assert!(stamps.len() >= 3, "the drill publishes many epochs");
+    for stamp in &stamps {
+        let snapshot = live
+            .service
+            .snapshot_at(stamp.epoch)
+            .expect("stamped epochs re-derive");
+        assert_eq!(snapshot.epoch(), stamp.epoch);
+        for index in 0..48 {
+            let query = live.generator.query(index);
+            let (planned, _) = snapshot.answer(&query).expect("warehouse-backed arm");
+            let oracle = snapshot
+                .oracle_answer(&query)
+                .expect("warehouse-backed arm");
+            assert_eq!(
+                planned.render(),
+                oracle.render(),
+                "epoch {}: planner diverged from the linear scan on query {index}",
+                stamp.epoch
+            );
+        }
+    }
+}
+
+#[test]
+fn sealed_service_agrees_with_the_report_query_surface() {
+    // Post-seal, the two halves of the unified API — the live service and
+    // the post-run FleetReport::answer — are the same database: every
+    // warehouse-backed arm answers byte-identically through both.
+    let live = live_drill();
+    for index in 0..256 {
+        let query = live.generator.query(index);
+        let (from_service, _) = live.service.answer(&query).expect("warehouse-backed arm");
+        assert_eq!(
+            from_service.render(),
+            live.report.answer(&query).render(),
+            "sealed service and report disagree on query {index}"
+        );
+    }
+    // Span and alert arms are report-only: the service declines them rather
+    // than guessing.
+    let spans = FleetQuery::Spans(TraceQuery::new());
+    assert!(live.service.answer(&spans).is_none());
+    assert!(matches!(
+        live.report.answer(&spans),
+        QueryResponse::Spans(_)
+    ));
+}
+
+#[test]
+fn query_responses_round_trip_through_the_codec_on_fleet_data() {
+    // Real drill-produced responses (not synthetic fixtures) survive
+    // export→import→render byte-identically, for every arm the stream
+    // emits plus the report-only span arm.
+    let live = live_drill();
+    let mut arms = std::collections::BTreeSet::new();
+    for index in 0..256 {
+        let query = live.generator.query(index);
+        let response = live.report.answer(&query);
+        arms.insert(query.arm());
+        let exported = response.export_json();
+        let imported = QueryResponse::import_json(&exported).expect("response round trip");
+        assert_eq!(imported.render(), response.render());
+        assert_eq!(imported.export_json(), exported);
+
+        let query_json = query.export_json();
+        let re_query = FleetQuery::import_json(&query_json).expect("query round trip");
+        assert_eq!(re_query.export_json(), query_json);
+        assert_eq!(
+            live.report.answer(&re_query).render(),
+            response.render(),
+            "a re-imported query must answer identically"
+        );
+    }
+    assert!(
+        arms.len() >= 3,
+        "the stream exercises multiple arms: {arms:?}"
+    );
+}
+
 #[test]
 fn job_reports_and_stores_round_trip_through_the_codec_on_fleet_data() {
     // Real fleet-produced reports (full flight-recorder captures, every
