@@ -2,14 +2,14 @@
 //!
 //! One Robust Agent daemon runs in every training pod. It hosts:
 //!
-//! * the [`Monitor`](monitor::Monitor) — second-level system inspections plus
+//! * the [`Monitor`] — second-level system inspections plus
 //!   workload-metric collection and anomaly rules (§4.1),
-//! * the [`Diagnoser`](diagnoser::Diagnoser) — stop-time test suites (EUD,
+//! * the [`Diagnoser`] — stop-time test suites (EUD,
 //!   NCCL intra/inter tests, the MiniGPT bit-wise alignment suite) run after
 //!   job suspension (§4.2, §4.3),
-//! * the [`OnDemandTracer`](tracer::OnDemandTracer) — stack-trace capture
+//! * the [`OnDemandTracer`] — stack-trace capture
 //!   feeding the Runtime Analyzer (§5),
-//! * the [`CkptManager`](ckpt_manager::CkptManager) — per-step asynchronous
+//! * the [`CkptManager`] — per-step asynchronous
 //!   checkpointing with cross-parallel-group backups (§6.3).
 //!
 //! The [`stress`] module implements the *selective stress testing* baseline

@@ -19,7 +19,9 @@
 //! Four machine-readable artifacts are written afterwards (into
 //! `$BYTEROBUST_BENCH_DIR`, default `.`): `BENCH_reproduce.json` with
 //! per-section and total wall times, `BENCH_fleet.json` with the
-//! `large_drill` scheduler-throughput measurement, `BENCH_obs.json`
+//! `large_drill` scheduler-throughput measurement plus the `mega_panel`
+//! stats (mega-drill events/sec, serial + parallel stepping walls, peak
+//! RSS — the `mega_*` keys), `BENCH_obs.json`
 //! with the observability plane's self-profiling (trace codec timings, the
 //! alerting plane's lead-time scorecards, plus the full wall-clock metrics
 //! registry), and `BENCH_query.json` with the resident query plane's
@@ -229,6 +231,28 @@ fn main() {
         query_stats.p99_nanos,
     );
 
+    // The mega drill: 100x fleet scale under the batched stepper, serial
+    // oracle vs parallel pre-advance (byte-identity asserted inside the
+    // panel). It runs alone on the main thread — it is the largest single
+    // allocation and wall-clock item, so nothing may skew it. The panel is
+    // deterministic; walls, events/sec, and peak RSS go to stderr,
+    // `BENCH_fleet.json`, and the guarded sections.
+    let ((mega_text, mega_stats), mega_secs) = timed(experiments::mega_panel);
+    println!("{mega_text}");
+    perf.record("mega_panel", mega_secs);
+    perf.record("mega_serial", mega_stats.bench.serial_wall_secs);
+    perf.record("mega_parallel", mega_stats.bench.parallel_wall_secs);
+    eprintln!(
+        "mega drill: {} events in {:.2}s serial / {:.2}s parallel x{} \
+         ({:.0} events/sec, peak RSS {} MiB)",
+        mega_stats.bench.events,
+        mega_stats.bench.serial_wall_secs,
+        mega_stats.bench.parallel_wall_secs,
+        mega_stats.bench.stepping_threads,
+        mega_stats.bench.events_per_sec(),
+        mega_stats.bench.peak_rss_bytes >> 20,
+    );
+
     // The two production deployment jobs of §8.1 drive the remaining tables.
     let ((dense, moe), production_secs) = production;
     perf.record("production_reports", production_secs);
@@ -253,16 +277,38 @@ fn main() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(err) => eprintln!("failed to write BENCH_reproduce.json: {err}"),
     }
-    match fleet_stats.write_fleet_json() {
+    match fleet_stats.write_fleet_json(Some(&mega_stats.bench)) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(err) => eprintln!("failed to write BENCH_fleet.json: {err}"),
     }
+    // Merge the mega drill's self-profiling into the registry: its scheduler
+    // op counters and its warehouse query-latency histograms sit alongside
+    // the small drill's under their own names.
+    let mut registry = obs_stats.registry;
+    registry.set_counter("scheduler.mega.picks", mega_stats.scheduler_ops.picks);
+    registry.set_counter(
+        "scheduler.mega.pushes",
+        mega_stats.scheduler_ops.heap_pushes,
+    );
+    registry.set_counter(
+        "scheduler.mega.stale_drops",
+        mega_stats.scheduler_ops.stale_drops,
+    );
+    registry.set_counter(
+        "scheduler.mega.tie_draws",
+        mega_stats.scheduler_ops.tie_draws,
+    );
+    registry.set_histogram("warehouse.mega_query_hot_nanos", mega_stats.query_hot);
+    registry.set_histogram(
+        "warehouse.mega_query_faulted_nanos",
+        mega_stats.query_faulted,
+    );
     let obs_bench = ObsBenchStats {
         trace_export_secs: obs_stats.trace_export_secs,
         trace_import_secs: obs_stats.trace_import_secs,
         trace_diagnose_secs: obs_stats.trace_diagnose_secs,
         alerts_json: alerts_stats.render_json(),
-        metrics_json: obs_stats.registry.export_json(),
+        metrics_json: registry.export_json(),
     };
     match obs_bench.write_obs_json() {
         Ok(path) => eprintln!("wrote {}", path.display()),

@@ -15,7 +15,8 @@ use byterobust_cluster::{
 use byterobust_core::{JobConfig, JobLifecycle, JobReport};
 use byterobust_fleet::{
     BrokerConfig, FleetConfig, FleetQuery, FleetRunner, IncidentWarehouse, QueryResponse,
-    SchedulerKind, TrafficConfig, TrafficGenerator, WarehouseService, WarehouseStorage,
+    SchedulerKind, SteppingMode, TrafficConfig, TrafficGenerator, WarehouseService,
+    WarehouseStorage,
 };
 use byterobust_incident::{
     Classification, IncidentCapture, IncidentDossier, IncidentQuery, IncidentStore,
@@ -34,7 +35,7 @@ use byterobust_sim::{SimDuration, SimRng, SimTime};
 use byterobust_trainsim::{CodeVersion, JobSpec, StepModel, TrainingRuntime};
 
 use crate::fast_mode;
-use crate::perf::{timed, FleetBenchStats, QueryBenchStats};
+use crate::perf::{timed, FleetBenchStats, MegaBenchStats, QueryBenchStats};
 use crate::table::{fmt_pct, fmt_secs, Table};
 
 /// Deterministic seed shared by all experiments.
@@ -1598,6 +1599,122 @@ pub fn fleet_throughput() -> (String, FleetBenchStats) {
             heap_report.shared_pool_target, heap_report.solo_pool_sum
         ),
     ]);
+    (table.render(), stats)
+}
+
+/// Everything the mega panel measured: the `BENCH_fleet.json` stats plus the
+/// wall-clock self-profiling domain (scheduler op counters and the mega
+/// warehouse's query-latency histograms) that `reproduce` merges into the
+/// metrics registry in `BENCH_obs.json`.
+#[derive(Debug, Clone)]
+pub struct MegaStats {
+    /// The measurement appended to `BENCH_fleet.json`.
+    pub bench: MegaBenchStats,
+    /// Scheduler op counters from the serial mega run.
+    pub scheduler_ops: byterobust_fleet::SchedulerOps,
+    /// Query-latency histogram over resident shards of the mega warehouse.
+    pub query_hot: byterobust_obs::HistogramSnapshot,
+    /// Query-latency histogram for queries that faulted spilled shards in
+    /// (empty — the mega drill keeps every shard resident).
+    pub query_faulted: byterobust_obs::HistogramSnapshot,
+}
+
+/// The mega-drill stepping benchmark: the 100×-scale fleet (600 jobs,
+/// 52,224 machines, >1M events over 47 simulated days) run once under the
+/// serial stepper — the determinism oracle — and once under the parallel
+/// pre-advance stepper, asserted byte-identical. Fast mode substitutes
+/// [`FleetConfig::mega_smoke`] (60 jobs, 5,120 machines, six days), the same
+/// shapes and event mix at CI scale.
+///
+/// Returns a deterministic summary panel (safe for stdout — no timing
+/// numbers) plus the measured [`MegaStats`]: events/sec and peak RSS for
+/// `BENCH_fleet.json`, scheduler-op counters and warehouse query-latency
+/// histograms for the registry in `BENCH_obs.json`.
+pub fn mega_panel() -> (String, MegaStats) {
+    let fast = fast_mode();
+    let config = if fast {
+        FleetConfig::mega_smoke()
+    } else {
+        FleetConfig::mega_drill()
+    };
+    let jobs = config.jobs.len();
+    let machines = config.total_machines();
+    let runner = FleetRunner::new(config, SEED + 99);
+    let (serial_report, serial_wall_secs) =
+        timed(|| runner.run_stepped(SchedulerKind::Heap, SteppingMode::Serial));
+    // At least three workers even on a single-core host, so the pre-advance
+    // fan-out (chunking, slot commit order) is genuinely exercised there too.
+    let stepping_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(3);
+    let (parallel_report, parallel_wall_secs) = timed(|| {
+        runner.run_stepped(
+            SchedulerKind::Heap,
+            SteppingMode::Parallel {
+                threads: stepping_threads,
+            },
+        )
+    });
+    assert_eq!(
+        serial_report.render(),
+        parallel_report.render(),
+        "parallel stepping must be byte-identical to the serial oracle"
+    );
+    let peak_rss = crate::perf::peak_rss_bytes();
+
+    // Point the warehouse latency histograms at the mega warehouse: the
+    // canonical query mix over the full cross-job index.
+    let warehouse = &serial_report.warehouse;
+    let mega_queries = [
+        IncidentQuery::any(),
+        IncidentQuery::any().at_least(Severity::Sev2),
+        IncidentQuery::any().window(SimTime::ZERO, SimTime::from_hours(48)),
+    ];
+    let mut hits = 0usize;
+    for query in &mega_queries {
+        hits += warehouse.query(query).len();
+    }
+    let (query_hot, query_faulted) = warehouse.query_latency();
+
+    let stats = MegaStats {
+        bench: MegaBenchStats {
+            seed: serial_report.seed,
+            fast_mode: fast,
+            jobs,
+            machines,
+            incidents: serial_report.total_incidents(),
+            events: serial_report.events_processed,
+            serial_wall_secs,
+            parallel_wall_secs,
+            stepping_threads,
+            peak_rss_bytes: peak_rss,
+        },
+        scheduler_ops: serial_report.scheduler_ops,
+        query_hot,
+        query_faulted,
+    };
+
+    let mut table = Table::new(
+        "Mega drill: 100x fleet scale under the batched stepper (serial = parallel, asserted)",
+        &["Quantity", "Value"],
+    );
+    table.row(&["Concurrent jobs".to_string(), jobs.to_string()]);
+    table.row(&["Fleet machines".to_string(), machines.to_string()]);
+    table.row(&["Incidents".to_string(), stats.bench.incidents.to_string()]);
+    table.row(&[
+        "Scheduler events".to_string(),
+        stats.bench.events.to_string(),
+    ]);
+    table.row(&[
+        "Fleet ETTR".to_string(),
+        format!("{:.4}", serial_report.fleet_ettr()),
+    ]);
+    table.row(&[
+        "Repeat offenders".to_string(),
+        serial_report.repeat_offenders.len().to_string(),
+    ]);
+    table.row(&["Warehouse query hits".to_string(), hits.to_string()]);
     (table.render(), stats)
 }
 

@@ -11,7 +11,7 @@ pub mod experiments;
 pub mod perf;
 pub mod table;
 
-pub use perf::{FleetBenchStats, PerfRecorder};
+pub use perf::{FleetBenchStats, MegaBenchStats, PerfRecorder};
 pub use table::Table;
 
 /// Whether the harness should run scaled-down experiments (set the

@@ -3,8 +3,10 @@
 //! Every future perf claim about this repository is pinned by a JSON
 //! artifact: `reproduce` emits `BENCH_reproduce.json` (wall-clock per table /
 //! figure plus the total) and `BENCH_fleet.json` (the `large_drill`
-//! throughput benchmark: events/sec under the heap scheduler and the
-//! measured speedup over the retained naive scan). The `bench_guard` binary
+//! throughput benchmark — events/sec under the heap scheduler and the
+//! measured speedup over the retained naive scan — plus [`MegaBenchStats`],
+//! the mega-drill panel: events/sec, serial and parallel stepping walls,
+//! and peak RSS). The `bench_guard` binary
 //! compares the former against the checked-in budget in
 //! `ci/bench_budget.json` and fails CI when the total regresses more than 2×.
 //!
@@ -142,8 +144,15 @@ impl FleetBenchStats {
         self.naive_wall_secs / self.heap_wall_secs.max(1e-9)
     }
 
-    /// Renders the `BENCH_fleet.json` document.
+    /// Renders the `BENCH_fleet.json` document (large drill only).
     pub fn render_json(&self) -> String {
+        self.render_json_with_mega(None)
+    }
+
+    /// Renders the `BENCH_fleet.json` document, appending the mega-drill
+    /// measurement when one was taken. The document stays flat: mega keys
+    /// are `mega_`-prefixed, so [`read_json_number`] sees no duplicates.
+    pub fn render_json_with_mega(&self, mega: Option<&MegaBenchStats>) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"benchmark\": \"fleet_large_drill\",");
@@ -155,21 +164,130 @@ impl FleetBenchStats {
         let _ = writeln!(out, "  \"heap_wall_secs\": {:.4},", self.heap_wall_secs);
         let _ = writeln!(out, "  \"naive_wall_secs\": {:.4},", self.naive_wall_secs);
         let _ = writeln!(out, "  \"events_per_sec\": {:.1},", self.events_per_sec());
-        let _ = writeln!(
-            out,
-            "  \"scheduler_speedup\": {:.2}",
-            self.scheduler_speedup()
-        );
+        match mega {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  \"scheduler_speedup\": {:.2}",
+                    self.scheduler_speedup()
+                );
+            }
+            Some(mega) => {
+                let _ = writeln!(
+                    out,
+                    "  \"scheduler_speedup\": {:.2},",
+                    self.scheduler_speedup()
+                );
+                out.push_str(&mega.render_fields());
+            }
+        }
         out.push_str("}\n");
         out
     }
 
     /// Writes `BENCH_fleet.json` into [`bench_dir`] and returns its path.
-    pub fn write_fleet_json(&self) -> std::io::Result<PathBuf> {
+    pub fn write_fleet_json(&self, mega: Option<&MegaBenchStats>) -> std::io::Result<PathBuf> {
         let path = bench_dir().join("BENCH_fleet.json");
-        std::fs::write(&path, self.render_json())?;
+        std::fs::write(&path, self.render_json_with_mega(mega))?;
         Ok(path)
     }
+}
+
+/// The mega-drill stepping measurement appended to `BENCH_fleet.json`: the
+/// 100×-scale fleet run once under the serial stepper and once under the
+/// parallel pre-advance stepper (byte-identity asserted by the panel), with
+/// events/sec and the process peak RSS. Keys are `mega_`-prefixed so the
+/// document stays flat and collision-free for [`read_json_number`].
+#[derive(Debug, Clone)]
+pub struct MegaBenchStats {
+    /// Fleet seed.
+    pub seed: u64,
+    /// Whether fast mode substituted the scaled-down smoke drill.
+    pub fast_mode: bool,
+    /// Concurrent jobs in the drill.
+    pub jobs: usize,
+    /// Total machines across the fleet.
+    pub machines: usize,
+    /// Incidents processed over the run.
+    pub incidents: usize,
+    /// Scheduler events processed (incidents plus job-end events).
+    pub events: usize,
+    /// Wall seconds for the serial-oracle run.
+    pub serial_wall_secs: f64,
+    /// Wall seconds for the parallel pre-advance run.
+    pub parallel_wall_secs: f64,
+    /// Worker threads the parallel run was given.
+    pub stepping_threads: usize,
+    /// Process peak RSS in bytes (`VmHWM`), read right after the runs. The
+    /// mega drill dominates the process high-water mark by an order of
+    /// magnitude, so this is an honest ceiling for the drill itself.
+    pub peak_rss_bytes: u64,
+}
+
+impl MegaBenchStats {
+    /// Throughput of the best of the two runs in events per second (the
+    /// reports are byte-identical, so either run is the same work).
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.serial_wall_secs.min(self.parallel_wall_secs).max(1e-9)
+    }
+
+    /// Serial wall time over parallel wall time (below 1.0 on single-core
+    /// hosts, where the scoped-thread fan-out only adds overhead).
+    pub fn parallel_speedup(&self) -> f64 {
+        self.serial_wall_secs / self.parallel_wall_secs.max(1e-9)
+    }
+
+    /// Renders the `mega_`-prefixed lines appended inside `BENCH_fleet.json`.
+    fn render_fields(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "  \"mega_fast_mode\": {},", self.fast_mode);
+        let _ = writeln!(out, "  \"mega_jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"mega_machines\": {},", self.machines);
+        let _ = writeln!(out, "  \"mega_incidents\": {},", self.incidents);
+        let _ = writeln!(out, "  \"mega_events\": {},", self.events);
+        let _ = writeln!(
+            out,
+            "  \"mega_serial_wall_secs\": {:.4},",
+            self.serial_wall_secs
+        );
+        let _ = writeln!(
+            out,
+            "  \"mega_parallel_wall_secs\": {:.4},",
+            self.parallel_wall_secs
+        );
+        let _ = writeln!(
+            out,
+            "  \"mega_stepping_threads\": {},",
+            self.stepping_threads
+        );
+        let _ = writeln!(
+            out,
+            "  \"mega_events_per_sec\": {:.1},",
+            self.events_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "  \"mega_parallel_speedup\": {:.2},",
+            self.parallel_speedup()
+        );
+        let _ = writeln!(out, "  \"mega_peak_rss_bytes\": {}", self.peak_rss_bytes);
+        out
+    }
+}
+
+/// The process's peak resident-set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
 }
 
 /// The resident query-plane measurement backing `BENCH_query.json`: an

@@ -158,6 +158,19 @@ impl Machine {
         self.gpus.iter().any(|g| g.sdc_prone)
     }
 
+    /// Whether the machine is indistinguishable from a factory-fresh one for
+    /// every observer in the control plane: a passing standby self-check, no
+    /// SDC-prone GPU, exactly nominal throughput, and a clean inspection
+    /// sweep. Nominal machines contribute nothing to monitor sweeps or
+    /// stop-time diagnostics, which is what lets the cluster's dirty-set
+    /// accessors skip them wholesale.
+    pub fn is_nominal(&self) -> bool {
+        self.passes_self_check()
+            && !self.has_sdc_prone_gpu()
+            && self.relative_throughput() == 1.0
+            && crate::health::HealthReport::inspect(self).is_clean()
+    }
+
     /// Marks the machine evicted and increments its eviction counter.
     pub fn evict(&mut self) {
         self.state = MachineState::Evicted;

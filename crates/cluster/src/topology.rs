@@ -9,7 +9,7 @@
 //! Lookups therefore go through an id → slot index rather than assuming
 //! `MachineId(i)` lives at index `i`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -85,6 +85,17 @@ pub struct Cluster {
     /// Slot index of each machine id currently in this cluster. Membership
     /// changes (release/adopt) keep this in sync with `machines`.
     index_of: BTreeMap<MachineId, usize>,
+    /// Machines that may have drifted from nominal condition: every machine
+    /// handed out via [`Cluster::machine_mut`] lands here and stays until a
+    /// refresh observes it nominal again. Invariant: any non-nominal member
+    /// is in this set, so monitor sweeps and stop-time diagnostics can visit
+    /// `dirty ∩ active` instead of the whole fleet.
+    dirty: BTreeSet<MachineId>,
+    /// Per-slot cache of [`Machine::relative_throughput`], refreshed for
+    /// dirty machines before each aggregate read so the per-step fleet
+    /// throughput scan is O(machines) adds instead of O(machines × GPUs)
+    /// recomputes.
+    throughput_cache: Vec<f64>,
     /// Machines blocked from scheduling.
     pub blacklist: Blacklist,
 }
@@ -122,10 +133,13 @@ impl Cluster {
             .enumerate()
             .map(|(i, m)| (m.id, i))
             .collect();
+        let throughput_cache = machines.iter().map(Machine::relative_throughput).collect();
         Cluster {
             spec,
             machines,
             index_of,
+            dirty: BTreeSet::new(),
+            throughput_cache,
             blacklist: Blacklist::new(),
         }
     }
@@ -160,6 +174,8 @@ impl Cluster {
     /// Panics if the machine is not a member of this cluster.
     pub fn machine_mut(&mut self, id: MachineId) -> &mut Machine {
         let slot = self.index_of[&id];
+        // The borrow may mutate anything; re-evaluate this machine lazily.
+        self.dirty.insert(id);
         &mut self.machines[slot]
     }
 
@@ -239,8 +255,10 @@ impl Cluster {
         let switch = SwitchId((id.index() / self.spec.machines_per_switch) as u32);
         let mut m = Machine::healthy(id, switch, self.spec.gpus_per_machine);
         m.state = MachineState::WarmStandby;
+        let throughput = m.relative_throughput();
         self.index_of.insert(id, self.machines.len());
         self.machines.push(m);
+        self.throughput_cache.push(throughput);
         id
     }
 
@@ -259,7 +277,9 @@ impl Cluster {
             "only warm-standby machines can be released for migration"
         );
         let machine = self.machines.remove(slot);
+        self.throughput_cache.remove(slot);
         self.index_of.remove(&id);
+        self.dirty.remove(&id);
         for index in self.index_of.values_mut() {
             if *index > slot {
                 *index -= 1;
@@ -282,8 +302,73 @@ impl Cluster {
             machine.id
         );
         machine.state = MachineState::WarmStandby;
+        let throughput = machine.relative_throughput();
         self.index_of.insert(machine.id, self.machines.len());
+        // The migrant carries its hardware history; treat it as suspect until
+        // a refresh proves it nominal.
+        self.dirty.insert(machine.id);
         self.machines.push(machine);
+        self.throughput_cache.push(throughput);
+    }
+
+    /// Re-evaluates every dirty machine: refreshes its throughput-cache slot
+    /// and drops it from the dirty set once it is nominal again.
+    fn refresh_dirty(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let mut nominal_again: Vec<MachineId> = Vec::new();
+        for &id in &self.dirty {
+            let slot = self.index_of[&id];
+            let machine = &self.machines[slot];
+            self.throughput_cache[slot] = machine.relative_throughput();
+            if machine.is_nominal() {
+                nominal_again.push(id);
+            }
+        }
+        for id in nominal_again {
+            self.dirty.remove(&id);
+        }
+    }
+
+    /// Active machines that may be non-nominal, in slot order — the candidate
+    /// set for monitor sweeps and stop-time diagnostics. Nominal machines
+    /// contribute nothing to either (clean health report, no suspect
+    /// predicate fires, no RNG draw), so visiting only these is
+    /// behavior-identical to visiting every active machine.
+    pub fn suspect_active_machines(&mut self) -> Vec<MachineId> {
+        self.refresh_dirty();
+        let mut slots: Vec<usize> = self
+            .dirty
+            .iter()
+            .map(|id| self.index_of[id])
+            .filter(|&slot| self.machines[slot].state == MachineState::Active)
+            .collect();
+        slots.sort_unstable();
+        slots
+            .into_iter()
+            .map(|slot| self.machines[slot].id)
+            .collect()
+    }
+
+    /// Aggregate relative throughput of the active fleet, served from the
+    /// per-slot cache. Bit-identical to
+    /// [`Cluster::active_relative_throughput`]: same per-machine values
+    /// summed in the same slot order, divided by the same count.
+    pub fn active_relative_throughput_cached(&mut self) -> f64 {
+        self.refresh_dirty();
+        let mut sum = 0.0;
+        let mut active = 0usize;
+        for (slot, machine) in self.machines.iter().enumerate() {
+            if machine.state == MachineState::Active {
+                sum += self.throughput_cache[slot];
+                active += 1;
+            }
+        }
+        if active == 0 {
+            return 0.0;
+        }
+        sum / active as f64
     }
 
     /// Aggregate relative throughput of the active fleet (mean of per-machine
@@ -312,6 +397,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::machine::NicState;
 
     #[test]
     fn build_assigns_states_and_switches() {
@@ -429,6 +515,79 @@ mod tests {
         cluster.machine_mut(MachineId(0)).gpu_mut(0).mark_lost();
         assert!(!cluster.all_active_operational());
         assert!(cluster.active_relative_throughput() < 1.0);
+    }
+
+    #[test]
+    fn cached_throughput_is_bit_identical_to_full_scan() {
+        let mut cluster = Cluster::build(ClusterSpec::small_test());
+        assert_eq!(
+            cluster.active_relative_throughput_cached(),
+            cluster.active_relative_throughput()
+        );
+        // Damage a few machines in different ways, interleaved with state
+        // transitions, and keep the cached read bit-identical throughout.
+        cluster.machine_mut(MachineId(0)).gpu_mut(0).overheat(92.0);
+        assert_eq!(
+            cluster.active_relative_throughput_cached(),
+            cluster.active_relative_throughput()
+        );
+        cluster.machine_mut(MachineId(5)).nic = NicState::Flapping;
+        cluster
+            .machine_mut(MachineId(7))
+            .gpu_mut(3)
+            .pcie_bandwidth_frac = 0.4;
+        assert_eq!(
+            cluster.active_relative_throughput_cached(),
+            cluster.active_relative_throughput()
+        );
+        cluster.evict_machine(
+            MachineId(7),
+            SimTime::from_secs(9),
+            FaultKind::CudaError,
+            false,
+        );
+        let standby = cluster.standby_machines()[0];
+        assert!(cluster.activate_standby(standby));
+        assert_eq!(
+            cluster.active_relative_throughput_cached(),
+            cluster.active_relative_throughput()
+        );
+        // Repairing back to nominal drains the dirty set and stays identical.
+        cluster.machine_mut(MachineId(0)).gpu_mut(0).cool_down();
+        cluster.machine_mut(MachineId(5)).nic = NicState::Up;
+        assert_eq!(
+            cluster.active_relative_throughput_cached(),
+            cluster.active_relative_throughput()
+        );
+        assert!(cluster.suspect_active_machines().is_empty());
+    }
+
+    #[test]
+    fn suspect_set_covers_every_non_nominal_active_machine() {
+        let mut cluster = Cluster::build(ClusterSpec::small_test());
+        assert!(cluster.suspect_active_machines().is_empty());
+        cluster.machine_mut(MachineId(3)).gpu_mut(0).mark_faulty();
+        cluster.machine_mut(MachineId(11)).gpu_mut(2).sdc_prone = true;
+        // Touching a machine without damaging it must not leave it suspect.
+        let _ = cluster.machine_mut(MachineId(6));
+        assert_eq!(
+            cluster.suspect_active_machines(),
+            vec![MachineId(3), MachineId(11)]
+        );
+        // The suspect set is exactly the non-nominal active machines.
+        for id in cluster.active_machines() {
+            let nominal = cluster.machine(id).is_nominal();
+            let suspect = cluster.suspect_active_machines().contains(&id);
+            assert_eq!(!nominal, suspect, "machine {id}");
+        }
+        // Evicted machines drop out of the active suspect set.
+        cluster.evict_machine(
+            MachineId(3),
+            SimTime::from_secs(1),
+            FaultKind::CudaError,
+            false,
+        );
+        assert_eq!(cluster.suspect_active_machines(), vec![MachineId(11)]);
     }
 
     #[test]

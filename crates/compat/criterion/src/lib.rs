@@ -90,7 +90,7 @@ impl Bencher {
     /// `cargo bench` quick, large enough to average out scheduler noise.
     const ITERATIONS: u64 = 10;
 
-    /// Runs `routine` [`Self::ITERATIONS`] times, accumulating wall-clock
+    /// Runs `routine` `Self::ITERATIONS` times, accumulating wall-clock
     /// time. The routine's return value is passed through `black_box` to keep
     /// the optimizer from deleting the work.
     pub fn iter<O, R>(&mut self, mut routine: R)

@@ -158,6 +158,12 @@ impl RobustController {
         &mut self.recorder
     }
 
+    /// Mutable access to the sim-time trace recorder, e.g. to disable it for
+    /// lean mega-scale runs (see `TraceRecorder::disable`).
+    pub fn trace_mut(&mut self) -> &mut TraceRecorder {
+        &mut self.trace
+    }
+
     /// The sim-time trace recorder. Spans accumulate across every incident
     /// this controller handles; all timestamps are simulated time, so the
     /// recording is a pure function of the seed.
@@ -346,10 +352,12 @@ impl RobustController {
                 // Explicit failures and NaN values. The monitor's real-time
                 // inspections run first (§4.1 step 1): machines whose
                 // network/GPU/host items are visibly broken are evicted
-                // immediately, skipping stop-time diagnostics.
-                let active = cluster.active_machines();
+                // immediately, skipping stop-time diagnostics. Nominal
+                // machines yield empty health reports, so only the cluster's
+                // suspect set (dirty ∩ active, slot order) needs sweeping.
+                let suspects = cluster.suspect_active_machines();
                 let machine_refs: Vec<&byterobust_cluster::Machine> =
-                    active.iter().map(|&id| cluster.machine(id)).collect();
+                    suspects.iter().map(|&id| cluster.machine(id)).collect();
                 let findings = self.monitor.inspect(&machine_refs, now);
                 let mut flagged: Vec<MachineId> = findings
                     .iter()
@@ -630,7 +638,7 @@ impl RobustController {
         &mut self,
         fault: &FaultEvent,
         now: SimTime,
-        cluster: &Cluster,
+        cluster: &mut Cluster,
         runtime: &TrainingRuntime,
         root: SpanId,
         cost: &mut FailoverCost,
@@ -639,7 +647,11 @@ impl RobustController {
     ) -> ResolutionMechanism {
         let _ = runtime;
         let log_class = Self::log_class_for(fault);
-        let machines = cluster.active_machines();
+        // Stop-time suites only ever implicate non-nominal machines, and the
+        // per-machine RNG draws fire only for SDC-prone (thus non-nominal)
+        // ones — restricting to the suspect set preserves both the verdicts
+        // and the RNG stream of a full active-fleet sweep.
+        let machines = cluster.suspect_active_machines();
         let diagnose_start = now + cost.total();
         let outcome = self
             .diagnoser

@@ -3,7 +3,7 @@
 //! [`JobLifecycle`] plays one training job forward through simulated time:
 //! productive training intervals are advanced in bulk (steps, checkpoints,
 //! metric samples), each injected incident is applied to the cluster and the
-//! workload, handed to the [`RobustController`](crate::ft::RobustController),
+//! workload, handed to the [`crate::ft::RobustController`],
 //! and its unproductive time charged to the ETTR tracker. The result is a
 //! [`JobReport`] carrying everything the §8.1 deployment experiments report:
 //! cumulative and sliding ETTR, relative MFU, incident resolution counts,
@@ -169,6 +169,28 @@ impl JobExecution {
         self.finished
     }
 
+    /// When the job's configured duration elapses (moves when a held job is
+    /// released). An event at or past this instant is the job-end event.
+    pub fn end_at(&self) -> SimTime {
+        self.end
+    }
+
+    /// Number of machines currently active in this job's cluster — an upper
+    /// bound on how many standbys one incident can possibly request.
+    pub fn active_machine_count(&self) -> usize {
+        self.cluster.active_machines().len()
+    }
+
+    /// A provable lower bound on the unproductive time any incident adds
+    /// before this job's next event: every recovery charges at least the
+    /// in-place restart time (no evictions) or one standby awakening
+    /// (evictions), whichever is smaller. Fleet steppers use the fleet-wide
+    /// minimum as the batching quantum.
+    pub fn scheduling_time_floor(&self) -> SimDuration {
+        let model = self.controller.restart_model();
+        model.hot_update_time().min(model.standby_awaken)
+    }
+
     /// Parks the job in a fleet admission queue: it keeps its cluster and
     /// seeds but reports no next event until [`JobExecution::release_at`].
     /// Only valid before the first advance.
@@ -222,6 +244,7 @@ impl JobExecution {
     }
 
     /// Advances one segment using the job's own standby pool (solo runs).
+    /// TEMPORARY advance-phase profiling counters (nanoseconds).
     pub fn advance(&mut self) -> SegmentOutcome {
         let mut pool = self
             .solo_pool
@@ -247,14 +270,13 @@ impl JobExecution {
         if self.finished {
             return SegmentOutcome::Finished;
         }
-
         // ----- Productive interval until the next incident (or job end).
         let interval_end = self.next_fault.at.min(self.end);
         if interval_end > self.now {
             let interval = interval_end - self.now;
             let breakdown = self.step_model.step(
                 self.runtime.code_version(),
-                self.cluster.active_relative_throughput().max(0.05),
+                self.cluster.active_relative_throughput_cached().max(0.05),
                 SimDuration::ZERO,
             );
             let step_time = breakdown.total();

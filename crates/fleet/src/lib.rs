@@ -59,7 +59,7 @@
 //! same machine id independently.
 //!
 //! The [`broker`] module chips away at that boundary: a
-//! [`FleetBroker`](broker::FleetBroker) mediates every standby grant, and
+//! [`broker::FleetBroker`] mediates every standby grant, and
 //! when the shared pool runs dry it can preempt lower-priority replenishment
 //! slots, *migrate* a spare `Machine` object wholesale between jobs'
 //! clusters (id, hardware damage, and repeat-offender history travel with
@@ -85,8 +85,8 @@ pub use drainer::{BacklogDrainer, CompletedSweep};
 pub use ledger::RepeatOffenderLedger;
 pub use query::{alert_get, AlertQuery, FleetQuery, IncidentRow, QueryResponse, WarehouseDigest};
 pub use report::{DrainSummary, FleetJobReport, FleetReport};
-pub use runner::{FleetConfig, FleetJob, FleetRunner};
-pub use scheduler::{EventScheduler, SchedulerKind};
+pub use runner::{FleetConfig, FleetJob, FleetRunner, SteppingMode};
+pub use scheduler::{EventScheduler, SchedulerKind, SchedulerOps};
 pub use service::{
     CacheStats, EpochSnapshot, EpochStamp, PlanChoice, ServiceStats, ShardCache, TrafficConfig,
     TrafficGenerator, WarehouseService,
@@ -102,8 +102,8 @@ pub mod prelude {
         alert_get, AlertQuery, FleetQuery, IncidentRow, QueryResponse, WarehouseDigest,
     };
     pub use crate::report::{DrainSummary, FleetJobReport, FleetReport};
-    pub use crate::runner::{FleetConfig, FleetJob, FleetRunner};
-    pub use crate::scheduler::{EventScheduler, SchedulerKind};
+    pub use crate::runner::{FleetConfig, FleetJob, FleetRunner, SteppingMode};
+    pub use crate::scheduler::{EventScheduler, SchedulerKind, SchedulerOps};
     pub use crate::service::{
         CacheStats, EpochSnapshot, EpochStamp, PlanChoice, ServiceStats, ShardCache, TrafficConfig,
         TrafficGenerator, WarehouseService,

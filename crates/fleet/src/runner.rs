@@ -18,12 +18,16 @@
 //! set actually changed), and the [`BacklogDrainer`] (whose completed
 //! stress-test sweeps return cleared machines to the shared pool).
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use byterobust_core::{JobConfig, JobExecution, RobustController, SegmentOutcome};
 use byterobust_incident::{IncidentDossier, RecoveryPhase};
 use byterobust_obs::{
-    names, signals, AlertEngine, RuleSet, SignalBus, SignalId, SpanKind, Trace, TraceRecorder,
+    names, signals, AlertEngine, RuleSet, SignalBus, SignalId, SpanId, SpanKind, Trace,
+    TraceRecorder,
 };
-use byterobust_recovery::WarmStandbyPool;
+use byterobust_recovery::{RestartCostModel, SchedulingOutcome, StandbyScheduler, WarmStandbyPool};
 use byterobust_sim::{SimDuration, SimRng, SimTime};
 use byterobust_trainsim::JobSpec;
 
@@ -101,6 +105,15 @@ pub struct FleetConfig {
     ///
     /// [`FleetQuery`]: crate::query::FleetQuery
     pub query_service: Option<WarehouseService>,
+    /// Skip the per-event `JobStep` / `WarehouseInsert` trace instants. The
+    /// mega drill processes ~10^6 events; recording an instant per event
+    /// costs hundreds of megabytes and dominates the merge at the end of the
+    /// run, so fleet-scale drills opt out. The stepping drivers apply the
+    /// same policy on both the serial and parallel paths, so the rendered
+    /// report stays a pure function of (config, seed) — but note a lean run
+    /// renders differently from a traced run of the same fleet (the trace
+    /// summary is part of the report).
+    pub lean_trace: bool,
 }
 
 impl FleetConfig {
@@ -116,7 +129,15 @@ impl FleetConfig {
             warehouse_storage: None,
             alert_rules: None,
             query_service: None,
+            lean_trace: false,
         }
+    }
+
+    /// Disables per-event trace instants (fleet-scale drills; see
+    /// [`FleetConfig::lean_trace`]).
+    pub fn with_lean_trace(mut self) -> Self {
+        self.lean_trace = true;
+        self
     }
 
     /// Attaches a resident query service; the runner publishes an epoch into
@@ -261,6 +282,79 @@ impl FleetConfig {
         config
     }
 
+    /// One job of the mega drill: a 64- or 128-machine dense job with a
+    /// manual-restart-dominated event mix (restart cadence staggered by
+    /// `index` so the fleet's events interleave rather than phase-lock), a
+    /// modest infra fault rate (each eviction permanently shrinks the job's
+    /// cluster toward its spares, so a 45-day run must not be eviction-heavy),
+    /// and a small reported series.
+    fn mega_job(index: u64, machines: usize, duration: SimDuration) -> JobConfig {
+        use byterobust_parallelism::ParallelismConfig;
+        use byterobust_trainsim::{HardwareSpec, ModelSpec};
+        let spec = if machines == 128 {
+            JobSpec::table5_70b_small()
+        } else {
+            assert_eq!(machines, 64, "mega jobs come in 64- and 128-machine sizes");
+            JobSpec {
+                model: ModelSpec::tiny_test(),
+                parallelism: ParallelismConfig::new_3d(2, 4, 64, 8),
+                global_batch: 512,
+                micro_batch: 1,
+                hardware: HardwareSpec::hopper(),
+                target_steps: 100_000,
+            }
+        };
+        let mut config = JobConfig::for_job(spec, duration);
+        config.fault.reference_mtbf = SimDuration::from_hours(48);
+        config.fault.reference_gpus = config.job.world_size();
+        config.fault.user_code_fraction = 0.35;
+        // ~37–43 min between manual restarts: the dominant event source
+        // (~1,600–1,800 events per job over 47 days).
+        config.fault.manual_restart_interval = SimDuration::from_secs(2_220 + 60 * (index % 7));
+        config.series_points = 12;
+        config.extra_standby_machines = 8;
+        config
+    }
+
+    /// The mega drill: 100× the large drill. 600 concurrent jobs — 384 at 64
+    /// machines and 216 at 128 machines, 52,224 active machines — over 47
+    /// simulated days, producing over a million fleet events. Sized for the
+    /// batched stepping drivers ([`FleetRunner::run_stepped`]): the per-event
+    /// linear scan is impractical here, and per-event trace instants are
+    /// disabled ([`FleetConfig::lean_trace`]). The shared pool override keeps
+    /// eligibility budgets wide enough that parallel stepping can speculate
+    /// whole batches.
+    pub fn mega_drill() -> Self {
+        Self::mega_fleet(384, 216, SimDuration::from_days(47))
+    }
+
+    /// The scaled-down mega drill for tests: the same job shapes and event
+    /// mix at 60 jobs (40×64 + 20×128 = 5,120 machines) over six days —
+    /// big enough to exercise multi-event batches and speculation, small
+    /// enough for a test suite.
+    pub fn mega_smoke() -> Self {
+        Self::mega_fleet(40, 20, SimDuration::from_days(6))
+    }
+
+    fn mega_fleet(small_jobs: u64, large_jobs: u64, duration: SimDuration) -> Self {
+        let mut jobs = Vec::with_capacity((small_jobs + large_jobs) as usize);
+        for i in 0..small_jobs {
+            jobs.push(FleetJob::new(
+                format!("mega-064-{i:04}"),
+                Self::mega_job(i, 64, duration),
+            ));
+        }
+        for i in 0..large_jobs {
+            jobs.push(FleetJob::new(
+                format!("mega-128-{i:04}"),
+                Self::mega_job(small_jobs + i, 128, duration),
+            ));
+        }
+        FleetConfig::new(jobs)
+            .with_pool_override(2_048)
+            .with_lean_trace()
+    }
+
     /// Total machine demand across the fleet: the sum of every job's
     /// footprint. This is what sizes the shared standby pool. (Machine
     /// *identity* is a separate matter — jobs address one fleet-wide
@@ -382,6 +476,324 @@ impl AlertTap {
     }
 }
 
+/// How the batched stepping drivers advance a broker-less fleet.
+///
+/// Broker-less runs are processed in *batches*: all events inside one
+/// sim-time quantum (the fleet-wide minimum scheduling floor — no recovery
+/// can complete faster, so advancing a job cannot create a new event inside
+/// the current batch). `Serial` commits each batch event in order on the
+/// calling thread and is the byte-identity oracle; `Parallel` first
+/// *pre-advances* the batch's jobs concurrently under recorded full-grant
+/// scheduling assumptions, then commits in the identical order, replaying
+/// each recorded grant against the real shared pool and asserting it matches.
+/// The two modes are byte-identical by construction. Brokered runs ignore
+/// the mode entirely (cross-job interventions are inherently sequential).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteppingMode {
+    /// Commit every event in order on the calling thread (the oracle).
+    Serial,
+    /// Pre-advance each batch across up to `threads` workers, then commit in
+    /// the serial order. `threads <= 1` degenerates to `Serial`.
+    Parallel {
+        /// Worker-thread cap for the pre-advance phase.
+        threads: usize,
+    },
+}
+
+impl SteppingMode {
+    /// Resolves the mode from the environment: `BYTEROBUST_SERIAL=1` forces
+    /// the serial oracle, `BYTEROBUST_STEP_THREADS=N` pins the worker count,
+    /// and otherwise the host's available parallelism decides (one core =
+    /// serial).
+    pub fn from_env() -> Self {
+        if std::env::var("BYTEROBUST_SERIAL").as_deref() == Ok("1") {
+            return SteppingMode::Serial;
+        }
+        let threads = std::env::var("BYTEROBUST_STEP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        if threads <= 1 {
+            SteppingMode::Serial
+        } else {
+            SteppingMode::Parallel { threads }
+        }
+    }
+
+    fn threads(self) -> usize {
+        match self {
+            SteppingMode::Serial => 1,
+            SteppingMode::Parallel { threads } => threads.max(1),
+        }
+    }
+}
+
+/// One standby-scheduler call recorded during a speculative pre-advance.
+struct RecordedCall {
+    model: RestartCostModel,
+    evicted: usize,
+    now: SimTime,
+    outcome: SchedulingOutcome,
+}
+
+/// The result of speculatively advancing one job off-thread: the segment
+/// outcome plus every scheduling call it made, to be replayed against the
+/// real pool at commit time.
+struct PreAdvanced {
+    outcome: SegmentOutcome,
+    calls: Vec<RecordedCall>,
+}
+
+/// The proxy scheduler used during speculative pre-advance: it *predicts*
+/// what the shared pool will answer (full grant — the eligibility budget
+/// guarantees the pool can cover the whole speculated prefix even in the
+/// worst case) and records every call. The commit replay asserts each
+/// prediction against the real pool, so a wrong prediction is a loud panic,
+/// never a silent divergence.
+#[derive(Default)]
+struct FullGrantScheduler {
+    calls: Vec<RecordedCall>,
+}
+
+impl StandbyScheduler for FullGrantScheduler {
+    fn schedule(
+        &mut self,
+        model: &RestartCostModel,
+        evicted: usize,
+        now: SimTime,
+    ) -> SchedulingOutcome {
+        // Mirrors `WarmStandbyPool::schedule` on its fully-covered paths.
+        let outcome = if evicted == 0 {
+            SchedulingOutcome {
+                duration: model.hot_update_time(),
+                ..SchedulingOutcome::default()
+            }
+        } else {
+            SchedulingOutcome {
+                duration: model.standby_awaken,
+                granted: evicted,
+                ..SchedulingOutcome::default()
+            }
+        };
+        self.calls.push(RecordedCall {
+            model: *model,
+            evicted,
+            now,
+            outcome,
+        });
+        outcome
+    }
+}
+
+/// Speculatively advances one job, recording its scheduler traffic.
+fn pre_advance(execution: &mut JobExecution) -> PreAdvanced {
+    let mut proxy = FullGrantScheduler::default();
+    let outcome = execution.advance_with_scheduler(&mut proxy);
+    PreAdvanced {
+        outcome,
+        calls: proxy.calls,
+    }
+}
+
+/// Everything the event loop mutates besides the executions and the
+/// scheduler. Factoring it out of `run_stepped` lets the classic per-event
+/// loop (brokered runs) and the batched drivers (broker-less runs) share one
+/// `commit_event` body, so "what happens when an event commits" is written
+/// exactly once.
+struct LoopState<'a> {
+    jobs: &'a [FleetJob],
+    lean_trace: bool,
+    broker: FleetBroker,
+    warehouse: IncidentWarehouse,
+    query_service: Option<&'a WarehouseService>,
+    drainer: BacklogDrainer,
+    ledger: RepeatOffenderLedger,
+    machines_returned: usize,
+    machines_confirmed_faulty: usize,
+    sweeps_completed_in_run: usize,
+    events_processed: usize,
+    fleet_trace: TraceRecorder,
+    alert_tap: Option<AlertTap>,
+    /// Set when the offender set changed under deferred publication; the
+    /// batched drivers flush it at the end of the batch.
+    offenders_dirty: bool,
+}
+
+impl LoopState<'_> {
+    /// Commits one event: drainer sweeps due at the event time, the job's
+    /// advance (or the replay of its speculative pre-advance), incident
+    /// bookkeeping, admission/migration follow-ups, alert evaluation, and the
+    /// scheduler re-registration.
+    ///
+    /// `immediate_publish` selects the offender-republication policy: the
+    /// classic per-event loop republishes inside the event (brokered runs),
+    /// the batched drivers defer to the end of the batch (`offenders_dirty` +
+    /// [`LoopState::flush_offender_publish`]) so the serial and parallel
+    /// stepping paths see identical monitor state at every advance.
+    fn commit_event(
+        &mut self,
+        executions: &mut [JobExecution],
+        scheduler: &mut EventScheduler,
+        event_at: SimTime,
+        index: usize,
+        pre: Option<PreAdvanced>,
+        immediate_publish: bool,
+    ) {
+        self.events_processed += 1;
+        let step_span: Option<SpanId> = if self.lean_trace {
+            None
+        } else {
+            let span = self
+                .fleet_trace
+                .instant(SpanKind::JobStep, names::JOB_STEP, None, event_at);
+            self.fleet_trace.set_value(span, index as u64);
+            Some(span)
+        };
+
+        // Complete sweeps due by this event and return cleared machines
+        // to the shared pool before the job draws from it (each machine at
+        // most once — two sweeps can both clear the same id).
+        for sweep in self.drainer.tick(event_at) {
+            for &machine in &sweep.passed {
+                if self.broker.restock(machine) {
+                    self.machines_returned += 1;
+                }
+            }
+            self.machines_confirmed_faulty += sweep.failed.len();
+            self.sweeps_completed_in_run += 1;
+        }
+
+        let jobs = self.jobs;
+        let label = &jobs[index].label;
+        let outcome = match pre {
+            // The job already advanced speculatively; charge the real pool
+            // with the recorded scheduler traffic and check the full-grant
+            // predictions held.
+            Some(pre) => {
+                let mut grants = BrokeredScheduler::new(&mut self.broker, index);
+                for call in &pre.calls {
+                    let real = grants.schedule(&call.model, call.evicted, call.now);
+                    assert_eq!(
+                        real, call.outcome,
+                        "speculative pre-advance diverged from the shared pool \
+                         (job {index} at {event_at})"
+                    );
+                }
+                pre.outcome
+            }
+            None => {
+                let mut grants = BrokeredScheduler::new(&mut self.broker, index);
+                executions[index].advance_with_scheduler(&mut grants)
+            }
+        };
+        match outcome {
+            SegmentOutcome::Finished => {}
+            SegmentOutcome::Incident { seq } => {
+                // Share the dossier straight out of the job's own store: the
+                // warehouse shard takes an `Arc` to the same allocation, so
+                // there is no per-incident deep copy on this path.
+                let dossier = executions[index]
+                    .incident_store()
+                    .get_shared(seq)
+                    .expect("closed incident is stored");
+                let closed_at = dossier.at + dossier.cost.total();
+                let offenders_changed = self.ledger.observe(&dossier);
+                self.broker.note_incident(&dossier.evicted);
+                self.drainer.dispatch(label, &dossier, closed_at);
+                self.warehouse.insert_shared(label, Arc::clone(&dossier));
+                // Publish the post-insert epoch: a handful of Arc clones
+                // of the shard heads. Readers pinning earlier epochs are
+                // untouched (copy-on-write).
+                if let Some(service) = self.query_service {
+                    service.publish(&self.warehouse);
+                }
+                if !self.lean_trace {
+                    let insert_span = self.fleet_trace.instant(
+                        SpanKind::Warehouse,
+                        names::WAREHOUSE_INSERT,
+                        step_span,
+                        closed_at,
+                    );
+                    self.fleet_trace.set_incident(insert_span, seq);
+                }
+                if let Some(tap) = self.alert_tap.as_mut() {
+                    tap.observe_incident(event_at, index, &dossier);
+                }
+                // Re-publish the cross-job offender set only when a machine
+                // actually crossed the threshold; each monitor receives an
+                // Arc pointer copy, not a vector clone.
+                if offenders_changed {
+                    if immediate_publish {
+                        let offenders = self.ledger.offenders_shared();
+                        for execution in executions.iter_mut() {
+                            execution
+                                .controller_mut()
+                                .monitor_mut()
+                                .set_repeat_offenders_shared(offenders.clone());
+                        }
+                    } else {
+                        self.offenders_dirty = true;
+                    }
+                }
+            }
+        }
+        // A job can finish on either outcome (its last incident's
+        // unproductive tail can run past the configured end). Either way, a
+        // finished job frees its footprint: admit queued jobs that now fit,
+        // starting them at this event time.
+        if executions[index].is_finished() {
+            for admitted in self.broker.on_job_finished(index, event_at) {
+                executions[admitted].release_at(event_at);
+                scheduler.reschedule(admitted, executions);
+            }
+        }
+        // Apply broker-planned migrations now that the advancing job's
+        // borrow has ended: the Machine object moves wholesale, so its id
+        // and hardware history arrive with it.
+        for migration in self.broker.take_pending_migrations() {
+            let machine = executions[migration.from_job]
+                .cluster_mut()
+                .release_machine(migration.machine);
+            executions[migration.to_job]
+                .cluster_mut()
+                .adopt_machine(machine);
+        }
+        if self.broker.enabled() {
+            self.broker
+                .sync_spares(index, &executions[index].cluster().standby_machines());
+        }
+        // Alerting sees the post-event world: gauges reflect the pool,
+        // queue, and shortfall state after this event settled, and every
+        // rule is evaluated at the event's sim time.
+        if let Some(tap) = self.alert_tap.as_mut() {
+            tap.observe_gauges_and_evaluate(event_at, &self.broker);
+        }
+        scheduler.reschedule(index, executions);
+    }
+
+    /// Publishes the offender set to every job's monitor if a deferred
+    /// change is pending. The batched drivers call this once per batch, so
+    /// offender visibility advances in batch quanta — identically on the
+    /// serial and parallel paths.
+    fn flush_offender_publish(&mut self, executions: &mut [JobExecution]) {
+        if !self.offenders_dirty {
+            return;
+        }
+        self.offenders_dirty = false;
+        let offenders = self.ledger.offenders_shared();
+        for execution in executions.iter_mut() {
+            execution
+                .controller_mut()
+                .monitor_mut()
+                .set_repeat_offenders_shared(offenders.clone());
+        }
+    }
+}
+
 /// Runs a fleet to completion, deterministically from one seed.
 #[derive(Debug, Clone)]
 pub struct FleetRunner {
@@ -416,15 +828,24 @@ impl FleetRunner {
     }
 
     /// Runs every job to completion and returns the fleet report, using the
-    /// heap scheduler.
+    /// heap scheduler and the environment-selected stepping mode (see
+    /// [`SteppingMode::from_env`]).
     pub fn run(&self) -> FleetReport {
-        self.run_with(SchedulerKind::default())
+        self.run_stepped(SchedulerKind::default(), SteppingMode::from_env())
     }
 
     /// Runs with an explicit scheduler. [`SchedulerKind::NaiveScan`] is the
     /// retained O(J)-per-event reference; the oracle tests pin
     /// `run_with(NaiveScan).render() == run().render()`.
     pub fn run_with(&self, scheduler_kind: SchedulerKind) -> FleetReport {
+        self.run_stepped(scheduler_kind, SteppingMode::from_env())
+    }
+
+    /// Runs with an explicit scheduler *and* stepping mode. The report is a
+    /// pure function of (config, seed): every `(SchedulerKind, SteppingMode)`
+    /// combination renders byte-identically — `Serial` is the oracle the
+    /// determinism tests pin `Parallel` against.
+    pub fn run_stepped(&self, scheduler_kind: SchedulerKind, mode: SteppingMode) -> FleetReport {
         let mut rng = SimRng::new(self.seed);
         let mut executions: Vec<JobExecution> = self
             .config
@@ -433,6 +854,15 @@ impl FleetRunner {
             .enumerate()
             .map(|(i, job)| JobExecution::new(job.config.clone(), rng.fork(i as u64 + 1).seed()))
             .collect();
+        if self.config.lean_trace {
+            // Lean mode: no per-incident controller spans. At mega scale the
+            // span volume (millions) would dominate memory and the final
+            // trace merge; the incident record (store + warehouse) is the
+            // durable artifact there.
+            for execution in &mut executions {
+                execution.controller_mut().trace_mut().disable();
+            }
+        }
         let mut tie_rng = rng.fork(0xF1EE7);
 
         // Every machine grant is mediated by the broker. With the broker
@@ -458,7 +888,7 @@ impl FleetRunner {
         }
         let mut scheduler = EventScheduler::new(scheduler_kind, &executions);
 
-        let mut warehouse = match &self.config.warehouse_storage {
+        let warehouse = match &self.config.warehouse_storage {
             Some(storage) => {
                 IncidentWarehouse::with_storage(self.config.bucket_width, storage.clone())
             }
@@ -471,130 +901,73 @@ impl FleetRunner {
         if let Some(service) = query_service {
             service.publish(&warehouse);
         }
-        let mut drainer = BacklogDrainer::new();
-        let mut ledger = RepeatOffenderLedger::new(self.config.repeat_offender_threshold);
-        let mut machines_returned = 0usize;
-        let mut machines_confirmed_faulty = 0usize;
-        let mut sweeps_completed_in_run = 0usize;
-        let mut events_processed = 0usize;
-        // Fleet-scope trace: job stepping, warehouse ingestion, and (replayed
-        // at the end) broker interventions. Per-job incident spans live in
-        // each job's own controller recorder; everything merges into one
-        // canonical document for the report.
-        let mut fleet_trace = TraceRecorder::new();
-        // The alerting plane, if rules are attached: signals published per
-        // event, rules evaluated per event, all in sim time.
-        let mut alert_tap = self
-            .config
-            .alert_rules
-            .as_ref()
-            .map(|rules| AlertTap::new(rules, &self.config.jobs));
+        let mut state = LoopState {
+            jobs: &self.config.jobs,
+            lean_trace: self.config.lean_trace,
+            broker,
+            warehouse,
+            query_service,
+            drainer: BacklogDrainer::new(),
+            ledger: RepeatOffenderLedger::new(self.config.repeat_offender_threshold),
+            machines_returned: 0,
+            machines_confirmed_faulty: 0,
+            sweeps_completed_in_run: 0,
+            events_processed: 0,
+            // Fleet-scope trace: job stepping, warehouse ingestion, and
+            // (replayed at the end) broker interventions. Per-job incident
+            // spans live in each job's own controller recorder; everything
+            // merges into one canonical document for the report.
+            fleet_trace: TraceRecorder::new(),
+            // The alerting plane, if rules are attached: signals published
+            // per event, rules evaluated per event, all in sim time.
+            alert_tap: self
+                .config
+                .alert_rules
+                .as_ref()
+                .map(|rules| AlertTap::new(rules, &self.config.jobs)),
+            offenders_dirty: false,
+        };
 
-        // The unfinished job with the earliest next event; simultaneous
-        // events are broken by the interleave stream inside the scheduler.
-        while let Some((event_at, index)) = scheduler.next(&executions, &mut tie_rng) {
-            assert!(
-                event_at < SimTime::MAX,
-                "scheduler picked a job still held in the admission queue"
+        if state.broker.enabled() {
+            // Brokered runs keep the classic per-event loop: cross-job
+            // interventions (preemption, migration, admission) make every
+            // event depend on all earlier ones, so there is nothing safe to
+            // batch. The unfinished job with the earliest next event
+            // advances; simultaneous events are broken by the interleave
+            // stream inside the scheduler.
+            while let Some((event_at, index)) = scheduler.next(&executions, &mut tie_rng) {
+                assert!(
+                    event_at < SimTime::MAX,
+                    "scheduler picked a job still held in the admission queue"
+                );
+                state.commit_event(&mut executions, &mut scheduler, event_at, index, None, true);
+            }
+        } else {
+            // Broker-less runs use the batched stepper: enumerate every
+            // event inside one scheduling quantum, optionally pre-advance
+            // the affected jobs in parallel, then commit in the exact order
+            // the per-event loop would have produced. See `SteppingMode`.
+            self.run_batched(
+                &mut state,
+                &mut executions,
+                &mut scheduler,
+                &mut tie_rng,
+                mode,
             );
-            events_processed += 1;
-            let step_span = fleet_trace.instant(SpanKind::JobStep, names::JOB_STEP, None, event_at);
-            fleet_trace.set_value(step_span, index as u64);
-
-            // Complete sweeps due by this event and return cleared machines
-            // to the shared pool before the next job draws from it (each
-            // machine at most once — two sweeps can both clear the same id).
-            for sweep in drainer.tick(event_at) {
-                for &machine in &sweep.passed {
-                    if broker.restock(machine) {
-                        machines_returned += 1;
-                    }
-                }
-                machines_confirmed_faulty += sweep.failed.len();
-                sweeps_completed_in_run += 1;
-            }
-
-            let label = &self.config.jobs[index].label;
-            let outcome = {
-                let mut grants = BrokeredScheduler::new(&mut broker, index);
-                executions[index].advance_with_scheduler(&mut grants)
-            };
-            match outcome {
-                SegmentOutcome::Finished => {}
-                SegmentOutcome::Incident { seq } => {
-                    // Borrow the dossier where it lives (the job's own store);
-                    // the warehouse copy below is the only clone on this path.
-                    let dossier = executions[index]
-                        .incident_store()
-                        .get(seq)
-                        .expect("closed incident is stored");
-                    let closed_at = dossier.at + dossier.cost.total();
-                    let offenders_changed = ledger.observe(dossier);
-                    broker.note_incident(&dossier.evicted);
-                    drainer.dispatch(label, dossier, closed_at);
-                    warehouse.insert(label, dossier.clone());
-                    // Publish the post-insert epoch: a handful of Arc clones
-                    // of the shard heads. Readers pinning earlier epochs are
-                    // untouched (copy-on-write).
-                    if let Some(service) = query_service {
-                        service.publish(&warehouse);
-                    }
-                    let insert_span = fleet_trace.instant(
-                        SpanKind::Warehouse,
-                        names::WAREHOUSE_INSERT,
-                        Some(step_span),
-                        closed_at,
-                    );
-                    fleet_trace.set_incident(insert_span, seq);
-                    if let Some(tap) = alert_tap.as_mut() {
-                        tap.observe_incident(event_at, index, dossier);
-                    }
-                    // Re-publish the cross-job offender set only when a
-                    // machine actually crossed the threshold; each monitor
-                    // receives an Arc pointer copy, not a vector clone.
-                    if offenders_changed {
-                        let offenders = ledger.offenders_shared();
-                        for execution in executions.iter_mut() {
-                            execution
-                                .controller_mut()
-                                .monitor_mut()
-                                .set_repeat_offenders_shared(offenders.clone());
-                        }
-                    }
-                }
-            }
-            // A job can finish on either outcome (its last incident's
-            // unproductive tail can run past the configured end). Either
-            // way, a finished job frees its footprint: admit queued jobs
-            // that now fit, starting them at this event time.
-            if executions[index].is_finished() {
-                for admitted in broker.on_job_finished(index, event_at) {
-                    executions[admitted].release_at(event_at);
-                    scheduler.reschedule(admitted, &executions);
-                }
-            }
-            // Apply broker-planned migrations now that the advancing job's
-            // borrow has ended: the Machine object moves wholesale, so its id
-            // and hardware history arrive with it.
-            for migration in broker.take_pending_migrations() {
-                let machine = executions[migration.from_job]
-                    .cluster_mut()
-                    .release_machine(migration.machine);
-                executions[migration.to_job]
-                    .cluster_mut()
-                    .adopt_machine(machine);
-            }
-            if broker.enabled() {
-                broker.sync_spares(index, &executions[index].cluster().standby_machines());
-            }
-            // Alerting sees the post-event world: gauges reflect the pool,
-            // queue, and shortfall state after this event settled, and every
-            // rule is evaluated at the event's sim time.
-            if let Some(tap) = alert_tap.as_mut() {
-                tap.observe_gauges_and_evaluate(event_at, &broker);
-            }
-            scheduler.reschedule(index, &executions);
         }
+        let LoopState {
+            mut broker,
+            warehouse,
+            mut drainer,
+            ledger,
+            mut machines_returned,
+            mut machines_confirmed_faulty,
+            sweeps_completed_in_run,
+            events_processed,
+            mut fleet_trace,
+            alert_tap,
+            ..
+        } = state;
 
         // Sweeps still in flight when the last job ends complete at the fleet
         // horizon (they were dispatched in-run; the machines just come back
@@ -688,6 +1061,136 @@ impl FleetRunner {
             migrations: broker.registry().migrations().to_vec(),
             broker: broker.summary(),
             alerts,
+        }
+    }
+
+    /// The batched stepping driver for broker-less fleets.
+    ///
+    /// Correctness rests on the *scheduling floor*: every advance charges at
+    /// least `min(hot_update_time, standby_awaken)` of scheduling time, so a
+    /// job advanced at `t` cannot produce a new fault event before `t +
+    /// quantum` — with one exception, the job's own configured end, which the
+    /// window is clamped to. Events inside `[t0, window_end)` therefore form
+    /// a closed batch: enumerating them against pre-advance state yields
+    /// exactly the pick sequence (and tie-break stream consumption) of the
+    /// per-event loop. Cross-job coupling inside a batch is limited to the
+    /// shared pool (made safe by the eligibility budget + commit-time replay)
+    /// and the repeat-offender set (made order-independent by deferring
+    /// publication to the end of the batch on both serial and parallel
+    /// paths).
+    fn run_batched(
+        &self,
+        state: &mut LoopState<'_>,
+        executions: &mut [JobExecution],
+        scheduler: &mut EventScheduler,
+        tie_rng: &mut SimRng,
+        mode: SteppingMode,
+    ) {
+        let threads = mode.threads();
+        // The fleet-wide scheduling floor. Using the minimum over all jobs
+        // keeps the window valid for whichever jobs land in it.
+        let quantum = executions
+            .iter()
+            .map(JobExecution::scheduling_time_floor)
+            .min()
+            .unwrap_or(SimDuration::from_secs(1));
+        let mut batch: Vec<(SimTime, usize)> = Vec::new();
+        let mut slots: Vec<Option<PreAdvanced>> = Vec::new();
+        let mut taken = vec![false; executions.len()];
+
+        while let Some((first_at, first_job)) = scheduler.next(executions, tie_rng) {
+            assert!(
+                first_at < SimTime::MAX,
+                "scheduler picked a job still held in the admission queue"
+            );
+            // Enumerate the batch: every event strictly inside the window,
+            // in exactly the order the per-event loop would pick them. The
+            // window is clamped to any in-window job end (the one event kind
+            // the scheduling floor does not push past the quantum); ends
+            // landing exactly on the clamped bound fall into the next batch.
+            batch.clear();
+            let mut window_end = first_at + quantum;
+            let end = executions[first_job].end_at();
+            if first_at < end && end < window_end {
+                window_end = end;
+            }
+            batch.push((first_at, first_job));
+            taken[first_job] = true;
+            while let Some((at, job)) =
+                scheduler.next_in_window(executions, tie_rng, window_end, &taken)
+            {
+                let end = executions[job].end_at();
+                if at < end && end < window_end {
+                    window_end = end;
+                }
+                batch.push((at, job));
+                taken[job] = true;
+            }
+            for &(_, job) in &batch {
+                taken[job] = false;
+            }
+
+            slots.clear();
+            slots.resize_with(batch.len(), || None);
+            if threads > 1 && batch.len() > 1 {
+                // Eligibility: speculate the longest prefix whose worst-case
+                // pool demand (every active machine evicted) fits the ready
+                // count at the window start. The pool only shrinks through
+                // these same events' grants (sweep restocks and provisioning
+                // ticks add), so at commit time every speculated event finds
+                // at least its worst case ready and the full-grant
+                // predictions hold. The first ineligible event cuts the
+                // prefix for everything after it: a later event must not be
+                // speculated past an inline advance whose real pool draw is
+                // unknown.
+                let mut budget = state.broker.pool().ready();
+                let mut prefix = 0usize;
+                for &(_, job) in &batch {
+                    let cost = executions[job].active_machine_count();
+                    if cost <= budget {
+                        budget -= cost;
+                        prefix += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if prefix > 1 {
+                    // Pair every speculated job with its result slot, in job
+                    // order (a job appears at most once per batch, so the
+                    // mutable borrows are disjoint).
+                    let mut by_job: BTreeMap<usize, &mut Option<PreAdvanced>> = batch[..prefix]
+                        .iter()
+                        .map(|&(_, job)| job)
+                        .zip(slots[..prefix].iter_mut())
+                        .collect();
+                    let mut work: Vec<(&mut JobExecution, &mut Option<PreAdvanced>)> = executions
+                        .iter_mut()
+                        .enumerate()
+                        .filter_map(|(i, execution)| {
+                            by_job.remove(&i).map(|slot| (execution, slot))
+                        })
+                        .collect();
+                    let workers = threads.min(work.len());
+                    let chunk = work.len().div_ceil(workers);
+                    std::thread::scope(|scope| {
+                        for piece in work.chunks_mut(chunk) {
+                            scope.spawn(move || {
+                                for (execution, slot) in piece.iter_mut() {
+                                    **slot = Some(pre_advance(execution));
+                                }
+                            });
+                        }
+                    });
+                }
+            }
+
+            // Commit in batch order — the serial order. Pre-advanced events
+            // replay their recorded pool traffic; everything else advances
+            // inline. Offender-set changes flush once per batch.
+            for (k, &(at, job)) in batch.iter().enumerate() {
+                state.commit_event(executions, scheduler, at, job, slots[k].take(), false);
+            }
+            state.flush_offender_publish(executions);
         }
     }
 }

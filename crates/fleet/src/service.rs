@@ -33,7 +33,7 @@
 //! falling back to a full scan when no index applies. Whatever the plan, the
 //! residual conjunctive filter (`byterobust_incident::filter::matches`) is
 //! applied and hits come back in canonical (start time, job, seq) order, so
-//! every plan is answer-equivalent to [`EpochSnapshot::linear_scan`] — the
+//! every plan is answer-equivalent to `EpochSnapshot::linear_scan` — the
 //! retained brute-force oracle, pinned byte-identical at every epoch by the
 //! planner-equivalence tests.
 //!
@@ -607,12 +607,12 @@ impl EpochSnapshot {
             }
             let store = self.store(shard);
             for dossier in &store.all()[..len] {
-                if filter::matches(query, dossier) {
+                if filter::matches(query, dossier.as_ref()) {
                     hits.push((
                         dossier.at,
                         self.label(shard).to_string(),
                         dossier.seq,
-                        dossier.clone(),
+                        dossier.as_ref().clone(),
                     ));
                 }
             }
@@ -663,7 +663,7 @@ pub struct ServiceStats {
     pub queries: u64,
     /// Epochs published.
     pub epochs: u64,
-    /// Per-plan answer counts, in [`PlanChoice::ALL`] order plus `digest`.
+    /// Per-plan answer counts, in `PlanChoice::ALL` order plus `digest`.
     pub plans: Vec<(&'static str, u64)>,
     /// Per-query latency histogram (nanoseconds).
     pub latency: HistogramSnapshot,

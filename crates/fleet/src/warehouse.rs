@@ -31,7 +31,7 @@
 //! in) are written to self-describing JSON segment files under `spill_dir`
 //! (`segment-NNNN.json`, via the in-repo codec in
 //! `byterobust_incident::codec`) and dropped from memory. The four secondary
-//! indexes stay hot — every [`DossierKey`] carries the start time, shard,
+//! indexes stay hot — every `DossierKey` carries the start time, shard,
 //! and seq a query needs to plan — and a query that resolves a key into a
 //! spilled shard *faults the whole shard back in* transparently (`&self`,
 //! via a per-shard `OnceLock`, so reports stay `Send + Sync`). Spill is
@@ -211,6 +211,9 @@ pub struct IncidentWarehouse {
     bucket_width: SimDuration,
     storage: Option<WarehouseStorage>,
     shards: Vec<Shard>,
+    /// Label → shard index, so the per-insert shard lookup is a map probe
+    /// instead of a linear scan over every job label.
+    shard_by_label: BTreeMap<String, usize>,
     by_machine: BTreeMap<MachineId, Vec<DossierKey>>,
     by_severity: BTreeMap<Severity, Vec<DossierKey>>,
     by_category: BTreeMap<FaultCategory, Vec<DossierKey>>,
@@ -265,6 +268,7 @@ impl Clone for IncidentWarehouse {
             bucket_width: self.bucket_width,
             storage: None,
             shards,
+            shard_by_label: self.shard_by_label.clone(),
             by_machine: self.by_machine.clone(),
             by_severity: self.by_severity.clone(),
             by_category: self.by_category.clone(),
@@ -302,6 +306,7 @@ impl IncidentWarehouse {
             bucket_width,
             storage,
             shards: Vec::new(),
+            shard_by_label: BTreeMap::new(),
             by_machine: BTreeMap::new(),
             by_severity: BTreeMap::new(),
             by_category: BTreeMap::new(),
@@ -375,8 +380,8 @@ impl IncidentWarehouse {
     }
 
     fn shard_index(&mut self, job: &str) -> usize {
-        match self.shards.iter().position(|shard| shard.label == job) {
-            Some(index) => index,
+        match self.shard_by_label.get(job) {
+            Some(&index) => index,
             None => {
                 let resident = OnceLock::new();
                 resident
@@ -389,7 +394,9 @@ impl IncidentWarehouse {
                     resident,
                     segment: None,
                 });
-                self.shards.len() - 1
+                let index = self.shards.len() - 1;
+                self.shard_by_label.insert(job.to_string(), index);
+                index
             }
         }
     }
@@ -553,6 +560,13 @@ impl IncidentWarehouse {
     /// module docs); per shard, dossiers must arrive in ascending `seq` with
     /// non-decreasing start times (asserted).
     pub fn insert(&mut self, job: &str, dossier: IncidentDossier) {
+        self.insert_shared(job, Arc::new(dossier));
+    }
+
+    /// [`insert`](IncidentWarehouse::insert) for a dossier that already lives
+    /// behind an `Arc` (typically the job's own incident store): the shard
+    /// keeps a reference to the same allocation instead of a deep copy.
+    pub fn insert_shared(&mut self, job: &str, dossier: Arc<IncidentDossier>) {
         let shard = self.shard_index(job);
         debug_assert!(
             self.store_for(shard)
@@ -571,7 +585,7 @@ impl IncidentWarehouse {
         // — the shared filter core is the single source of that set, gathered
         // into a reused scratch buffer.
         let mut machines = std::mem::take(&mut self.machine_scratch);
-        byterobust_incident::filter::implicated_machines_into(&dossier, &mut machines);
+        byterobust_incident::filter::implicated_machines_into(dossier.as_ref(), &mut machines);
         let shards = &self.shards;
         let post = |postings: &mut Vec<DossierKey>| {
             let target = canonical(shards, key);
@@ -589,27 +603,26 @@ impl IncidentWarehouse {
         );
         post(self.by_category.entry(dossier.category).or_default());
         post(self.by_bucket.entry(bucket).or_default());
-        self.store_mut_for(shard).insert(dossier);
+        self.store_mut_for(shard).insert_shared(dossier);
         self.shards[shard].len += 1;
         self.touch(shard);
         self.enforce_budget();
     }
 
-    /// Ingests a whole per-job store (e.g. from a finished [`JobReport`]
-    /// (`byterobust_core::JobReport`)'s `incident_store`).
+    /// Ingests a whole per-job store (e.g. from a finished
+    /// `byterobust_core::JobReport`'s `incident_store`).
     pub fn ingest_store(&mut self, job: &str, store: &IncidentStore) {
         for dossier in store.all() {
-            self.insert(job, dossier.clone());
+            self.insert_shared(job, Arc::clone(dossier));
         }
     }
 
     /// The per-job shard for a label, if that job has any incidents. Faults
     /// the shard in if it is spilled.
     pub fn shard(&self, job: &str) -> Option<&IncidentStore> {
-        self.shards
-            .iter()
-            .position(|shard| shard.label == job)
-            .map(|index| self.store_for(index))
+        self.shard_by_label
+            .get(job)
+            .map(|&index| self.store_for(index))
     }
 
     /// Job labels with at least one incident, sorted. Never faults anything

@@ -1375,7 +1375,7 @@ impl Encode for IncidentStore {
     fn encode(&self) -> JsonValue {
         JsonValue::object(vec![(
             "dossiers",
-            JsonValue::Array(self.all().iter().map(Encode::encode).collect()),
+            JsonValue::Array(self.all().iter().map(|d| d.as_ref().encode()).collect()),
         )])
     }
 }
@@ -1401,7 +1401,7 @@ impl IncidentStore {
             ("version", JsonValue::U64(FORMAT_VERSION)),
             (
                 "dossiers",
-                JsonValue::Array(self.all().iter().map(Encode::encode).collect()),
+                JsonValue::Array(self.all().iter().map(|d| d.as_ref().encode()).collect()),
             ),
         ])
         .render()

@@ -7,7 +7,7 @@
 //! copy of the predicate plumbing. This module is the single home for that
 //! logic:
 //!
-//! * [`matches`] — the conjunctive predicate itself (every `Some` field must
+//! * [`matches()`] — the conjunctive predicate itself (every `Some` field must
 //!   hold; `None` fields match everything).
 //! * [`filter`] — the predicate applied over a dossier slice, preserving
 //!   order.
@@ -64,11 +64,12 @@ pub fn matches(query: &IncidentQuery, dossier: &IncidentDossier) -> bool {
 
 /// The predicate applied over a dossier slice, preserving the slice's order.
 pub fn filter<'a>(
-    dossiers: &'a [IncidentDossier],
+    dossiers: &'a [std::sync::Arc<IncidentDossier>],
     query: &IncidentQuery,
 ) -> Vec<&'a IncidentDossier> {
     dossiers
         .iter()
+        .map(std::sync::Arc::as_ref)
         .filter(|dossier| matches(query, dossier))
         .collect()
 }

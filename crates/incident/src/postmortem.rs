@@ -1,7 +1,7 @@
 //! The postmortem generator: renders a closed incident into a structured,
 //! human-readable postmortem artifact.
 //!
-//! A [`Postmortem`] is generated from an [`IncidentDossier`](crate::store::IncidentDossier)
+//! A [`Postmortem`] is generated from an [`IncidentDossier`]
 //! — the frozen flight-recorder capture plus the resolution record and its
 //! classification — and carries the incident timeline, the evidence each
 //! subsystem contributed, the unproductive-time breakdown by recovery phase

@@ -10,6 +10,7 @@
 //! severity floor, time window, machine, and mechanism.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -146,9 +147,14 @@ impl IncidentQuery {
 }
 
 /// The durable, queryable collection of incident dossiers for one job.
+///
+/// Dossiers are held behind `Arc` so a dossier can live in its job's store
+/// *and* in the fleet warehouse shard (and any epoch snapshot of it) as one
+/// shared allocation — at mega-drill scale the second copy per incident was
+/// both the dominant insert cost and a third of resident memory.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct IncidentStore {
-    dossiers: Vec<IncidentDossier>,
+    dossiers: Vec<Arc<IncidentDossier>>,
 }
 
 impl IncidentStore {
@@ -163,6 +169,12 @@ impl IncidentStore {
     /// dossiers, shard merges) are placed at their sorted position so
     /// [`IncidentStore::get`] can binary-search.
     pub fn insert(&mut self, dossier: IncidentDossier) {
+        self.insert_shared(Arc::new(dossier));
+    }
+
+    /// [`insert`](IncidentStore::insert) for an already-shared dossier: the
+    /// store keeps a reference, not a copy.
+    pub fn insert_shared(&mut self, dossier: Arc<IncidentDossier>) {
         let pos = self.dossiers.partition_point(|d| d.seq <= dossier.seq);
         self.dossiers.insert(pos, dossier);
     }
@@ -180,8 +192,16 @@ impl IncidentStore {
     /// All dossiers, sorted by sequence number (which is also time order for
     /// dossiers produced by a job run: the injector's seq is monotone in the
     /// fault time).
-    pub fn all(&self) -> &[IncidentDossier] {
+    pub fn all(&self) -> &[Arc<IncidentDossier>] {
         &self.dossiers
+    }
+
+    /// A shared handle to one stored dossier by sequence number.
+    pub fn get_shared(&self, seq: u64) -> Option<Arc<IncidentDossier>> {
+        self.dossiers
+            .binary_search_by_key(&seq, |dossier| dossier.seq)
+            .ok()
+            .map(|index| Arc::clone(&self.dossiers[index]))
     }
 
     /// Dossiers matching a query, in time order.
@@ -196,7 +216,7 @@ impl IncidentStore {
         self.dossiers
             .binary_search_by_key(&seq, |dossier| dossier.seq)
             .ok()
-            .map(|index| &self.dossiers[index])
+            .map(|index| self.dossiers[index].as_ref())
     }
 
     /// Generates the postmortem for one stored incident.

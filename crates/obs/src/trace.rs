@@ -173,9 +173,19 @@ struct RawSpan {
 
 /// Records sim-time spans for one scope (one job's controller, or the fleet
 /// runner). Allocation-free per span after vector warm-up.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TraceRecorder {
     spans: Vec<RawSpan>,
+    enabled: bool,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder {
+            spans: Vec::new(),
+            enabled: true,
+        }
+    }
 }
 
 impl TraceRecorder {
@@ -184,8 +194,22 @@ impl TraceRecorder {
         TraceRecorder::default()
     }
 
-    /// Opens a span at `start` (its end is `start` until [`close`d]
-    /// (TraceRecorder::close)).
+    /// Turns the recorder off: every subsequent [`open`](TraceRecorder::open)
+    /// returns a sentinel id and records nothing, and the tag setters ignore
+    /// the sentinel. Mega-scale drills run lean — millions of per-incident
+    /// spans would dominate both memory and the trace merge — while the
+    /// recorder stays a plumb-through so call sites are unconditional.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span at `start` (its end is `start` until closed via
+    /// `TraceRecorder::close`).
     pub fn open(
         &mut self,
         kind: SpanKind,
@@ -193,6 +217,9 @@ impl TraceRecorder {
         parent: Option<SpanId>,
         start: SimTime,
     ) -> SpanId {
+        if !self.enabled {
+            return SpanId(NONE_U32);
+        }
         let id = SpanId(self.spans.len() as u32);
         self.spans.push(RawSpan {
             parent: parent.map_or(NONE_U32, |p| p.0),
@@ -218,23 +245,35 @@ impl TraceRecorder {
         self.open(kind, name, parent, at)
     }
 
-    /// Closes a span at `end`.
+    /// Closes a span at `end`. No-op on a disabled recorder's sentinel id.
     pub fn close(&mut self, span: SpanId, end: SimTime) {
+        if span.0 == NONE_U32 {
+            return;
+        }
         self.spans[span.0 as usize].end = end;
     }
 
     /// Tags a span with the incident sequence number it belongs to.
     pub fn set_incident(&mut self, span: SpanId, seq: u64) {
+        if span.0 == NONE_U32 {
+            return;
+        }
         self.spans[span.0 as usize].incident = seq;
     }
 
     /// Tags a span with a machine.
     pub fn set_machine(&mut self, span: SpanId, machine: MachineId) {
+        if span.0 == NONE_U32 {
+            return;
+        }
         self.spans[span.0 as usize].machine = machine.0;
     }
 
     /// Tags a span with a free scalar payload (latency ms, step, count...).
     pub fn set_value(&mut self, span: SpanId, value: u64) {
+        if span.0 == NONE_U32 {
+            return;
+        }
         self.spans[span.0 as usize].value = value;
     }
 

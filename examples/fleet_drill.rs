@@ -47,7 +47,7 @@
 //!     # LRU fault and evict under live traffic
 //! ```
 //!
-//! The full `BYTEROBUST_*` flag table lives in `crates/fleet/README.md`.
+//! The full `BYTEROBUST_*` flag table lives in `docs/FLAGS.md`.
 
 use byterobust::prelude::*;
 

@@ -61,6 +61,58 @@ fn heap_scheduler_is_byte_identical_to_naive_scan_oracle() {
 }
 
 #[test]
+fn mega_smoke_parallel_stepping_is_byte_identical_to_the_serial_oracle() {
+    // The scaled-down mega configuration (~5k machines, a few dozen jobs):
+    // the batched parallel stepper must reproduce the serial per-batch loop
+    // byte-for-byte, including spill-era warehouse state and the ledger.
+    let runner = FleetRunner::new(FleetConfig::mega_smoke(), 20250916);
+    let serial = runner.run_stepped(SchedulerKind::Heap, SteppingMode::Serial);
+    let parallel = runner.run_stepped(SchedulerKind::Heap, SteppingMode::Parallel { threads: 3 });
+    assert!(
+        serial.events_processed > 5_000,
+        "mega_smoke should process thousands of events, got {}",
+        serial.events_processed
+    );
+    assert_eq!(
+        serial.render(),
+        parallel.render(),
+        "mega_smoke: parallel stepping diverged from the serial oracle"
+    );
+    assert_eq!(serial.events_processed, parallel.events_processed);
+
+    // A different thread count must not change the history either: thread
+    // count is a throughput knob, never an input to the simulation.
+    let wider = runner.run_stepped(SchedulerKind::Heap, SteppingMode::Parallel { threads: 7 });
+    assert_eq!(
+        serial.render(),
+        wider.render(),
+        "mega_smoke: thread count leaked into the simulated history"
+    );
+}
+
+#[test]
+fn mega_drill_config_meets_the_scale_floors() {
+    // The mega drill itself runs only in the bench panel (tens of seconds);
+    // here we pin its advertised scale so a refactor cannot silently shrink
+    // it below the 100x-fleet floors: >=500 jobs and >=50k machines.
+    let config = FleetConfig::mega_drill();
+    assert!(
+        config.jobs.len() >= 500,
+        "mega_drill must field at least 500 jobs, got {}",
+        config.jobs.len()
+    );
+    assert!(
+        config.total_machines() >= 50_000,
+        "mega_drill must span at least 50k machines, got {}",
+        config.total_machines()
+    );
+    // mega_smoke is the fast-mode stand-in: same shape, strictly smaller.
+    let smoke = FleetConfig::mega_smoke();
+    assert!(smoke.jobs.len() >= 40 && smoke.jobs.len() < config.jobs.len());
+    assert!(smoke.total_machines() >= 4_000 && smoke.total_machines() < config.total_machines());
+}
+
+#[test]
 fn heap_scheduler_matches_oracle_on_the_large_drill() {
     // The ~24-job four-digit-machine drill: the scale the heap scheduler
     // exists for. One run per scheduler, pinned byte-identical.
@@ -162,7 +214,7 @@ fn warehouse_shard_merge_is_deterministic_across_insertion_orders() {
     for i in 0..longest {
         for (label, store) in &shards {
             if let Some(dossier) = store.all().get(i) {
-                interleaved.insert(label, dossier.clone());
+                interleaved.insert_shared(label, dossier.clone());
             }
         }
     }
